@@ -1,0 +1,80 @@
+"""Shared benchmark fixtures.
+
+Experiment results are cached per session so the reporting assertions
+and the timed runs don't redo expensive training. The scale preset
+comes from ``REPRO_SCALE`` (default ``quick``); run the paper-sized
+shapes with ``REPRO_SCALE=full pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import get_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def report(capsys):
+    """Emit a rendered experiment report.
+
+    Prints through pytest's capture (so ``tee``'d runs show the tables
+    even for passing tests) and persists the text under
+    ``benchmarks/results/`` as a reviewable artifact.
+    """
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def figure3_result(scale):
+    from repro.experiments import figure3
+
+    return figure3.run(scale)
+
+
+@pytest.fixture(scope="session")
+def figure4_result(scale):
+    from repro.experiments import figure4
+
+    return figure4.run(scale)
+
+
+@pytest.fixture(scope="session")
+def table1_result(scale):
+    from repro.experiments import table1
+
+    return table1.run(scale)
+
+
+@pytest.fixture(scope="session")
+def table2_result(scale):
+    from repro.experiments import table2
+
+    return table2.run(scale)
+
+
+@pytest.fixture(scope="session")
+def tpch_setup(scale):
+    """(db, workload, advisor) triple shared by index-selection benches."""
+    from repro.experiments import common
+
+    db = common.build_database(scale)
+    workload = common.build_workload(scale)
+    advisor = common.build_advisor(db)
+    return db, workload, advisor

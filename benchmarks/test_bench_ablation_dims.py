@@ -1,0 +1,54 @@
+"""Ablation: embedding dimensionality sensitivity.
+
+How does the account-labeling accuracy react to the embedder's vector
+size? The paper fixes one size; this bench shows the plateau.
+"""
+
+import numpy as np
+
+from repro.embedding import Doc2VecEmbedder
+from repro.experiments import common
+from repro.experiments.reporting import render_series
+from repro.ml.crossval import cross_val_score
+from repro.ml.forest import RandomizedForestClassifier
+from repro.ml.preprocess import LabelEncoder
+
+DIMS = (8, 16, 32, 64)
+
+
+def test_dimension_sweep(benchmark, scale):
+    labeled = common.snowsim_records(scale, "labeled")[:1500]
+    pretrain = [r.query for r in common.snowsim_records(scale, "pretrain")][:3000]
+    queries = [r.query for r in labeled]
+    codes = LabelEncoder().fit_transform([r.account for r in labeled])
+
+    def train_at(dim):
+        embedder = Doc2VecEmbedder(dimension=dim, epochs=scale.d2v_epochs, seed=0)
+        embedder.fit(pretrain)
+        vectors = embedder.transform(queries)
+        scores = cross_val_score(
+            lambda: RandomizedForestClassifier(n_trees=10, max_depth=14, seed=0),
+            vectors,
+            codes,
+            n_splits=4,
+        )
+        return float(np.mean(scores))
+
+    accuracies = {}
+    for dim in DIMS[:-1]:
+        accuracies[dim] = train_at(dim)
+    accuracies[DIMS[-1]] = benchmark.pedantic(
+        lambda: train_at(DIMS[-1]), rounds=1, iterations=1
+    )
+
+    print()
+    print(
+        render_series(
+            "Ablation — Doc2Vec dimension vs account accuracy",
+            "dim",
+            list(DIMS),
+            {"accuracy": [f"{accuracies[d]:.1%}" for d in DIMS]},
+        )
+    )
+    # accuracy should not collapse as dimension grows
+    assert accuracies[64] >= accuracies[8] - 0.05

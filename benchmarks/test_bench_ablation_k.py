@@ -1,0 +1,43 @@
+"""Ablation: summary size K vs tuned-workload runtime.
+
+Figure 3 uses the elbow method to choose K; this bench sweeps K
+explicitly and shows the regime the elbow must land in: tiny summaries
+miss templates (worse indexes), large summaries just cost the advisor
+more simulated time.
+"""
+
+from repro.apps.summarization import WorkloadSummarizer
+from repro.experiments import common
+from repro.experiments.reporting import render_series
+
+K_VALUES = (2, 6, 12, 20)
+BUDGET_SECONDS = 600.0
+
+
+def test_summary_size_sweep(benchmark, tpch_setup, scale):
+    db, workload, advisor = tpch_setup
+    embedder = common.make_lstm(scale).fit(workload)
+
+    def runtime_for_k(k):
+        summary = WorkloadSummarizer(embedder, k=k, seed=0).summarize(workload)
+        report = advisor.recommend(list(summary.queries), BUDGET_SECONDS)
+        return common.runtime_seconds(db, workload, report.config, scale)
+
+    runtimes = {}
+    for k in K_VALUES[:-1]:
+        runtimes[k] = runtime_for_k(k)
+    runtimes[K_VALUES[-1]] = benchmark.pedantic(
+        lambda: runtime_for_k(K_VALUES[-1]), rounds=1, iterations=1
+    )
+
+    print()
+    print(
+        render_series(
+            "Ablation — summary size K vs workload runtime (s)",
+            "K",
+            list(K_VALUES),
+            {"runtime_s": [round(runtimes[k], 1) for k in K_VALUES]},
+        )
+    )
+    # richer summaries must not do worse than the 2-witness one
+    assert min(runtimes[12], runtimes[20]) <= runtimes[2] + 1e-9

@@ -1,0 +1,74 @@
+"""Component micro-benchmarks: throughput of the moving parts.
+
+These are conventional pytest-benchmark measurements (multiple rounds)
+of the pieces the service runs continuously: tokenization, embedding
+inference, labeling, engine execution, and what-if planning.
+"""
+
+import pytest
+
+from repro.experiments import common
+from repro.minidb import Index, IndexConfig
+from repro.sql.normalizer import token_stream
+
+
+@pytest.fixture(scope="module")
+def corpus(scale):
+    return [r.query for r in common.snowsim_records(scale, "labeled")[:512]]
+
+
+def test_tokenize_throughput(benchmark, corpus):
+    result = benchmark(lambda: [token_stream(q) for q in corpus])
+    assert len(result) == len(corpus)
+
+
+def test_doc2vec_inference_throughput(benchmark, corpus, scale):
+    embedder = common.make_doc2vec(scale, seed=0)
+    embedder.infer_epochs = 5
+    embedder.fit(corpus)
+    vectors = benchmark(lambda: embedder.transform(corpus[:128]))
+    assert vectors.shape[0] == 128
+
+
+def test_lstm_inference_throughput(benchmark, corpus, scale):
+    embedder = common.make_lstm(scale, seed=0)
+    embedder.epochs = 2
+    embedder.fit(corpus)
+    vectors = benchmark(lambda: embedder.transform(corpus[:128]))
+    assert vectors.shape[0] == 128
+
+
+def test_forest_labeling_throughput(benchmark, corpus, scale):
+    from repro.core.labeler import ClassifierLabeler
+    from repro.ml.forest import RandomizedForestClassifier
+
+    embedder = common.make_doc2vec(scale, seed=0)
+    embedder.fit(corpus)
+    records = common.snowsim_records(scale, "labeled")[:512]
+    vectors = embedder.transform([r.query for r in records])
+    labeler = ClassifierLabeler(
+        RandomizedForestClassifier(n_trees=10, max_depth=14, seed=0)
+    )
+    labeler.fit(vectors, [r.account for r in records])
+    out = benchmark(lambda: labeler.predict(vectors[:256]))
+    assert len(out) == 256
+
+
+def test_engine_query_execution(benchmark, tpch_setup):
+    db, workload, _ = tpch_setup
+    sql = workload[0]  # a Q1 instance: scan + aggregate over lineitem
+    result = benchmark(lambda: db.execute(sql))
+    assert result.n_rows > 0
+
+
+def test_whatif_planning_throughput(benchmark, tpch_setup):
+    db, workload, _ = tpch_setup
+    config = IndexConfig(
+        [
+            Index("lineitem", ("l_orderkey", "l_quantity")),
+            Index("orders", ("o_orderdate", "o_custkey")),
+        ]
+    )
+    sql = workload[len(workload) // 2]
+    cost = benchmark(lambda: db.estimate_cost(sql, config))
+    assert cost > 0

@@ -1,0 +1,48 @@
+"""Figure 3 bench: workload runtime vs advisor time budget (5 series).
+
+Regenerates the paper's Figure 3 series and asserts the qualitative
+shapes. The timed section is one full advisor run + workload evaluation
+at the minimum effective budget — the unit of work the figure sweeps.
+"""
+
+from repro.experiments import common
+from repro.experiments.figure3 import FULL_SERIES, SUMMARY_SERIES
+
+
+def test_figure3_series_and_shapes(benchmark, figure3_result, tpch_setup, scale, report):
+    db, workload, advisor = tpch_setup
+
+    def advisor_plus_runtime():
+        recommendation = advisor.recommend(
+            workload, 180.0, billing_multiplier=common.billing_multiplier(scale)
+        )
+        return common.runtime_seconds(db, workload, recommendation.config, scale)
+
+    benchmark.pedantic(advisor_plus_runtime, rounds=1, iterations=1)
+
+    result = figure3_result
+    report("figure3", result.render())
+
+    assert result.comparison is not None
+    assert result.comparison.all_hold, "a Figure 3 paper claim failed"
+
+    # the five series exist over the full budget grid
+    assert set(result.runtimes) == {FULL_SERIES, *SUMMARY_SERIES}
+    for series in result.runtimes.values():
+        assert len(series) == len(result.budgets_minutes)
+
+    # transfer learning isolated: Snowflake-trained embedders summarize
+    # TPC-H well enough to beat native full-workload tuning at the
+    # minimum effective budget
+    i0 = next(
+        i
+        for i, b in enumerate(result.budgets_minutes)
+        if result.configs[(FULL_SERIES, b)] != "<none>"
+    )
+    full_at_min = result.runtimes[FULL_SERIES][i0]
+    for name in ("doc2vecSnowflake", "lstmSnowflake"):
+        transferred = result.runtimes[name][i0]
+        assert transferred < full_at_min, (
+            f"{name} should beat native full-workload tuning at the "
+            f"minimum budget ({transferred:.0f} vs {full_at_min:.0f})"
+        )

@@ -1,0 +1,42 @@
+"""Table 2 bench: per-account user-prediction accuracy.
+
+The timed section is one per-account cross-validation — the per-row
+work of the table.
+"""
+
+from collections import defaultdict
+
+from repro.apps.security import SecurityAuditor
+from repro.experiments import common
+from repro.workloads.snowflake_sim import PAPER_SHARED_ACCOUNTS
+
+
+def test_table2_per_account_accuracy(benchmark, table2_result, scale, report):
+    labeled = common.snowsim_records(scale, "labeled")
+    pretrain = [r.query for r in common.snowsim_records(scale, "pretrain")]
+    embedder = common.make_lstm(scale).fit(pretrain[:2000])
+    auditor = SecurityAuditor(embedder, n_trees=scale.forest_trees, seed=0)
+    by_account = defaultdict(list)
+    for record in labeled:
+        by_account[record.account].append(record)
+    biggest = max(by_account.values(), key=len)
+
+    def one_account_cv():
+        return auditor.cross_validate(biggest[:800], "user", n_folds=3).mean()
+
+    benchmark.pedantic(one_account_cv, rounds=1, iterations=1)
+
+    result = table2_result
+    report("table2", result.render())
+
+    assert result.comparison is not None
+    assert result.comparison.all_hold, "a Table 2 paper claim failed"
+
+    # the paper's diagnosis: volume-dominating accounts with shared
+    # texts are exactly the low-accuracy ones
+    shared_names = {f"acct{i:02d}" for i in PAPER_SHARED_ACCOUNTS}
+    rows = result.rows
+    assert {rows[0].account, rows[1].account} == shared_names
+    shared = [r.accuracy for r in rows if r.account in shared_names]
+    exclusive = [r.accuracy for r in rows if r.account not in shared_names]
+    assert max(shared) < sum(exclusive) / len(exclusive)

@@ -1,0 +1,34 @@
+"""The paper's §4 applications, built on the public Querc API.
+
+Every application here reduces to query labeling, as the paper argues:
+
+* :mod:`~repro.apps.summarization` — workload summarization for index
+  recommendation (offline clustering; §5.1).
+* :mod:`~repro.apps.security` — user/account labeling and anomaly
+  flagging for security audits (§5.2).
+* :mod:`~repro.apps.routing` — routing-policy misconfiguration
+  detection.
+* :mod:`~repro.apps.errorpred` — error prediction from syntax.
+* :mod:`~repro.apps.resources` — coarse resource-allocation labels.
+* :mod:`~repro.apps.recommendation` — next-query recommendation.
+"""
+
+from repro.apps.summarization import WorkloadSummarizer, SummaryResult
+from repro.apps.security import SecurityAuditor, AuditFinding
+from repro.apps.routing import RoutingPolicyAuditor, RoutingFinding
+from repro.apps.errorpred import ErrorPredictor
+from repro.apps.resources import ResourceAllocator, RESOURCE_CLASSES
+from repro.apps.recommendation import QueryRecommender
+
+__all__ = [
+    "WorkloadSummarizer",
+    "SummaryResult",
+    "SecurityAuditor",
+    "AuditFinding",
+    "RoutingPolicyAuditor",
+    "RoutingFinding",
+    "ErrorPredictor",
+    "ResourceAllocator",
+    "RESOURCE_CLASSES",
+    "QueryRecommender",
+]

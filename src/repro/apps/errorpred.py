@@ -1,0 +1,71 @@
+"""Error prediction from query syntax (§4; tech-report companion app).
+
+"Particular syntax patterns in the workload may be associated with
+resource errors or bugs... Using learned features, a classifier to
+predict errors from syntax is trivial to engineer." Predicted-risky
+queries can then be routed to an instrumented / bigger-memory runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.labeler import ClassifierLabeler
+from repro.embedding.base import QueryEmbedder
+from repro.errors import LabelingError
+from repro.ml.forest import RandomizedForestClassifier
+from repro.workloads.logs import QueryLogRecord
+
+NO_ERROR = ""
+
+
+class ErrorPredictor:
+    """Multi-class error-code prediction (empty code = success)."""
+
+    def __init__(
+        self, embedder: QueryEmbedder, n_trees: int = 20, seed: int = 0
+    ) -> None:
+        self.embedder = embedder
+        self.seed = seed
+        self.n_trees = n_trees
+        self._labeler: ClassifierLabeler | None = None
+
+    def fit(self, records: list[QueryLogRecord]) -> "ErrorPredictor":
+        if not records:
+            raise LabelingError("no records to train on")
+        vectors = self.embedder.transform([r.query for r in records])
+        labels = [r.error_code or NO_ERROR for r in records]
+        self._labeler = ClassifierLabeler(
+            RandomizedForestClassifier(
+                n_trees=self.n_trees, max_depth=14, seed=self.seed
+            )
+        )
+        self._labeler.fit(vectors, labels)
+        return self
+
+    def predict(self, queries: list[str]) -> list[str]:
+        """Predicted error code per query ('' = expected success)."""
+        if self._labeler is None:
+            raise LabelingError("fit must be called first")
+        return [str(v) for v in self._labeler.predict(self.embedder.transform(queries))]
+
+    def risk_scores(self, queries: list[str]) -> np.ndarray:
+        """P(any error) per query — the routing hint."""
+        if self._labeler is None:
+            raise LabelingError("fit must be called first")
+        probs = self._labeler.predict_proba(self.embedder.transform(queries))
+        classes = self._labeler.classes
+        try:
+            ok_column = classes.index(NO_ERROR)
+        except ValueError:
+            return np.ones(len(queries))
+        return 1.0 - probs[:, ok_column]
+
+    def recall_of_errors(self, records: list[QueryLogRecord]) -> float:
+        """Fraction of truly erroring queries predicted as erroring."""
+        erroring = [r for r in records if r.error_code]
+        if not erroring:
+            raise LabelingError("no erroring records to evaluate")
+        predictions = self.predict([r.query for r in erroring])
+        hits = sum(1 for p in predictions if p != NO_ERROR)
+        return hits / len(erroring)

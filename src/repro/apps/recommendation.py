@@ -1,0 +1,78 @@
+"""Next-query recommendation (§4; tech-report companion app).
+
+"The query recommendation problem can be modeled as a prediction of the
+next query the user will submit to the database based on the recent
+history of queries." We embed each session position's recent history
+(mean of the last ``history`` vectors) and use k-NN over historical
+(history → next query) pairs, recommending the successors of similar
+histories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import QueryEmbedder
+from repro.errors import LabelingError
+from repro.ml.neighbors import KNeighborsClassifier
+
+
+class QueryRecommender:
+    """History-conditioned nearest-neighbour query recommendation."""
+
+    def __init__(
+        self,
+        embedder: QueryEmbedder,
+        history: int = 3,
+        n_neighbors: int = 5,
+    ) -> None:
+        if history < 1:
+            raise LabelingError("history must be >= 1")
+        self.embedder = embedder
+        self.history = history
+        self.n_neighbors = n_neighbors
+        self._knn = KNeighborsClassifier(n_neighbors)
+        self._corpus: list[str] = []
+        self._fitted = False
+
+    def fit(self, sessions: list[list[str]]) -> "QueryRecommender":
+        """Train from per-user query sequences."""
+        contexts: list[np.ndarray] = []
+        next_ids: list[int] = []
+        corpus: list[str] = []
+        for session in sessions:
+            if len(session) < 2:
+                continue
+            vectors = self.embedder.transform(session)
+            for i in range(1, len(session)):
+                lo = max(0, i - self.history)
+                contexts.append(vectors[lo:i].mean(axis=0))
+                next_ids.append(len(corpus) + i)
+            corpus.extend(session)
+        if not contexts:
+            raise LabelingError("need sessions with at least 2 queries")
+        self._corpus = corpus
+        self._knn.fit(np.asarray(contexts), np.asarray(next_ids))
+        self._fitted = True
+        return self
+
+    def recommend(self, recent: list[str], top_k: int = 3) -> list[str]:
+        """Suggest likely next queries given the recent history."""
+        if not self._fitted:
+            raise LabelingError("fit must be called first")
+        if not recent:
+            raise LabelingError("recent history must be non-empty")
+        vectors = self.embedder.transform(recent[-self.history:])
+        context = vectors.mean(axis=0, keepdims=True)
+        _, idx = self._knn.kneighbors(context)
+        suggestions: list[str] = []
+        seen: set[str] = set()
+        labels = self._knn.labels_  # successor ids of the neighbours
+        for neighbour in idx[0]:
+            text = self._corpus[int(labels[neighbour])]
+            if text not in seen:
+                seen.add(text)
+                suggestions.append(text)
+            if len(suggestions) >= top_k:
+                break
+        return suggestions

@@ -1,0 +1,71 @@
+"""Resource allocation from query syntax (§4; tech-report companion app).
+
+"If we can coarsely categorize queries as memory-intensive,
+long-running, etc. with some degree of accuracy, these labels can be
+used as a simple, database-agnostic way to speculatively allocate
+resources." Continuous runtime/memory labels from the logs are bucketed
+into coarse classes (the paper is explicit that exact prediction is not
+feasible from structure alone), then learned like any other label.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.labeler import ClassifierLabeler
+from repro.embedding.base import QueryEmbedder
+from repro.errors import LabelingError
+from repro.ml.forest import RandomizedForestClassifier
+from repro.workloads.logs import QueryLogRecord
+
+RESOURCE_CLASSES = ("light", "standard", "long-running", "memory-intensive")
+
+
+def resource_class(runtime_seconds: float, memory_mb: float,
+                   runtime_hi: float = 5.0, memory_hi: float = 400.0) -> str:
+    """Bucket continuous usage into the coarse allocation classes."""
+    if memory_mb >= memory_hi:
+        return "memory-intensive"
+    if runtime_seconds >= runtime_hi:
+        return "long-running"
+    if runtime_seconds < 0.3:
+        return "light"
+    return "standard"
+
+
+class ResourceAllocator:
+    """Speculative resource-class labeling from syntax."""
+
+    def __init__(
+        self, embedder: QueryEmbedder, n_trees: int = 20, seed: int = 0
+    ) -> None:
+        self.embedder = embedder
+        self.seed = seed
+        self.n_trees = n_trees
+        self._labeler: ClassifierLabeler | None = None
+
+    def fit(self, records: list[QueryLogRecord]) -> "ResourceAllocator":
+        if not records:
+            raise LabelingError("no records to train on")
+        vectors = self.embedder.transform([r.query for r in records])
+        labels = [
+            resource_class(r.runtime_seconds, r.memory_mb) for r in records
+        ]
+        self._labeler = ClassifierLabeler(
+            RandomizedForestClassifier(
+                n_trees=self.n_trees, max_depth=14, seed=self.seed
+            )
+        )
+        self._labeler.fit(vectors, labels)
+        return self
+
+    def predict(self, queries: list[str]) -> list[str]:
+        if self._labeler is None:
+            raise LabelingError("fit must be called first")
+        return [str(v) for v in self._labeler.predict(self.embedder.transform(queries))]
+
+    def accuracy(self, records: list[QueryLogRecord]) -> float:
+        """Holdout accuracy against the buckets derived from true usage."""
+        truth = [resource_class(r.runtime_seconds, r.memory_mb) for r in records]
+        predictions = self.predict([r.query for r in records])
+        return float(np.mean([p == t for p, t in zip(predictions, truth)]))

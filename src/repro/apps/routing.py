@@ -1,0 +1,87 @@
+"""Query-routing policy enforcement (§4).
+
+"Under the hypothesis that queries that follow a particular policy tend
+to have similar features, Querc can help identify policy
+misconfiguration by detecting when a predicted routing decision differs
+from the assigned routing decision."
+
+The auditor learns ``V -> cluster`` from historical routing and flags
+disagreements above a confidence threshold — in SnowSim those are the
+deliberately misrouted records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.labeler import ClassifierLabeler
+from repro.embedding.base import QueryEmbedder
+from repro.errors import LabelingError
+from repro.ml.forest import RandomizedForestClassifier
+from repro.workloads.logs import QueryLogRecord
+
+
+@dataclass(frozen=True)
+class RoutingFinding:
+    """A query whose assigned cluster contradicts the learned policy."""
+
+    query: str
+    assigned_cluster: str
+    predicted_cluster: str
+    confidence: float
+
+
+class RoutingPolicyAuditor:
+    """Learn routing policy from logs; flag suspected misroutes."""
+
+    def __init__(
+        self, embedder: QueryEmbedder, n_trees: int = 20, seed: int = 0
+    ) -> None:
+        self.embedder = embedder
+        self.seed = seed
+        self.n_trees = n_trees
+        self._labeler: ClassifierLabeler | None = None
+
+    def fit(self, records: list[QueryLogRecord]) -> "RoutingPolicyAuditor":
+        if not records:
+            raise LabelingError("no records to train on")
+        vectors = self.embedder.transform([r.query for r in records])
+        self._labeler = ClassifierLabeler(
+            RandomizedForestClassifier(
+                n_trees=self.n_trees, max_depth=14, seed=self.seed
+            )
+        )
+        self._labeler.fit(vectors, [r.cluster for r in records])
+        return self
+
+    def predict_cluster(self, queries: list[str]) -> list:
+        if self._labeler is None:
+            raise LabelingError("fit must be called first")
+        return self._labeler.predict(self.embedder.transform(queries))
+
+    def find_misroutes(
+        self, records: list[QueryLogRecord], min_confidence: float = 0.7
+    ) -> list[RoutingFinding]:
+        """Flag records whose assigned cluster looks misconfigured."""
+        if self._labeler is None:
+            raise LabelingError("fit must be called first")
+        vectors = self.embedder.transform([r.query for r in records])
+        probs = self._labeler.predict_proba(vectors)
+        classes = self._labeler.classes
+        best = np.argmax(probs, axis=1)
+        findings: list[RoutingFinding] = []
+        for i, record in enumerate(records):
+            predicted = str(classes[int(best[i])])
+            confidence = float(probs[i, best[i]])
+            if predicted != record.cluster and confidence >= min_confidence:
+                findings.append(
+                    RoutingFinding(
+                        query=record.query,
+                        assigned_cluster=record.cluster,
+                        predicted_cluster=predicted,
+                        confidence=confidence,
+                    )
+                )
+        return findings

@@ -1,0 +1,123 @@
+"""Security auditing: user/account labeling and anomaly flagging (§5.2).
+
+"By formulating a prediction problem that tries to guess the user that
+submitted the query from the syntax alone, we can identify anomalous
+queries for security audits. In our framework, the labeler is a simple
+classifier V → user."
+
+The auditor trains user and account labelers over a shared embedder and
+flags queries whose predicted user disagrees with the claimed user with
+enough confidence margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.labeler import ClassifierLabeler
+from repro.embedding.base import QueryEmbedder
+from repro.errors import LabelingError
+from repro.ml.crossval import cross_val_score
+from repro.ml.forest import RandomizedForestClassifier
+from repro.ml.preprocess import LabelEncoder
+from repro.workloads.logs import QueryLogRecord
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One flagged query."""
+
+    query: str
+    claimed_user: str
+    predicted_user: str
+    confidence: float  # probability mass on the predicted user
+
+
+class SecurityAuditor:
+    """User/account labeling plus mismatch flagging."""
+
+    def __init__(
+        self,
+        embedder: QueryEmbedder,
+        n_trees: int = 20,
+        max_depth: int | None = 16,
+        seed: int = 0,
+    ) -> None:
+        self.embedder = embedder
+        self.seed = seed
+        self._forest_params = dict(n_trees=n_trees, max_depth=max_depth)
+        self._user_labeler: ClassifierLabeler | None = None
+        self._account_labeler: ClassifierLabeler | None = None
+
+    def _make_estimator(self):
+        return RandomizedForestClassifier(seed=self.seed, **self._forest_params)
+
+    # -- training ---------------------------------------------------------------
+
+    def fit(self, records: list[QueryLogRecord]) -> "SecurityAuditor":
+        """Train user and account labelers from ground-truth logs."""
+        if not records:
+            raise LabelingError("no records to train on")
+        vectors = self.embedder.transform([r.query for r in records])
+        self._user_labeler = ClassifierLabeler(self._make_estimator())
+        self._user_labeler.fit(vectors, [r.user for r in records])
+        self._account_labeler = ClassifierLabeler(self._make_estimator())
+        self._account_labeler.fit(vectors, [r.account for r in records])
+        return self
+
+    # -- evaluation (the Table 1 protocol) -------------------------------------------
+
+    def cross_validate(
+        self,
+        records: list[QueryLogRecord],
+        label: str = "user",
+        n_folds: int = 10,
+    ) -> np.ndarray:
+        """k-fold CV accuracy of labeling ``label`` from syntax alone."""
+        if label not in ("user", "account", "cluster"):
+            raise LabelingError(f"unsupported label {label!r}")
+        vectors = self.embedder.transform([r.query for r in records])
+        encoder = LabelEncoder()
+        codes = encoder.fit_transform([r.label(label) for r in records])
+        return cross_val_score(
+            self._make_estimator, vectors, codes, n_splits=n_folds, seed=self.seed
+        )
+
+    # -- auditing ------------------------------------------------------------------
+
+    def audit(
+        self, records: list[QueryLogRecord], min_confidence: float = 0.5
+    ) -> list[AuditFinding]:
+        """Flag queries whose predicted user contradicts the claimed one."""
+        if self._user_labeler is None:
+            raise LabelingError("fit must be called before audit")
+        vectors = self.embedder.transform([r.query for r in records])
+        probs = self._user_labeler.predict_proba(vectors)
+        classes = self._user_labeler.classes
+        best = np.argmax(probs, axis=1)
+        findings: list[AuditFinding] = []
+        for i, record in enumerate(records):
+            predicted = classes[int(best[i])]
+            confidence = float(probs[i, best[i]])
+            if predicted != record.user and confidence >= min_confidence:
+                findings.append(
+                    AuditFinding(
+                        query=record.query,
+                        claimed_user=record.user,
+                        predicted_user=str(predicted),
+                        confidence=confidence,
+                    )
+                )
+        return findings
+
+    def predict_account(self, queries: list[str]) -> list:
+        if self._account_labeler is None:
+            raise LabelingError("fit must be called before predict_account")
+        return self._account_labeler.predict(self.embedder.transform(queries))
+
+    def predict_user(self, queries: list[str]) -> list:
+        if self._user_labeler is None:
+            raise LabelingError("fit must be called before predict_user")
+        return self._user_labeler.predict(self.embedder.transform(queries))

@@ -1,0 +1,47 @@
+"""Querc: database-agnostic workload management as query labeling.
+
+This package is the paper's primary contribution (its §2 architecture):
+
+* :class:`~repro.core.labeled_query.LabeledQuery` — the one data model
+  shared by every component: ``(Q, c1, c2, ...)``.
+* :class:`~repro.core.classifier.QueryClassifier` — a pre-trained
+  (embedder, labeler) pair; the split exists so one expensively-trained
+  embedder can serve many cheap application-specific labelers.
+* :class:`~repro.core.qworker.QWorker` — per-application stream
+  processor running multiple classifiers.
+* :class:`~repro.core.service.QuercService` — applications, workers,
+  and query-stream routing (Figure 1).
+* :class:`~repro.core.training.TrainingModule` — centralized training
+  sets, batch (re)training, evaluation, offline labeling.
+* :class:`~repro.core.deployment.ModelRegistry` — versioned deployment
+  of trained classifiers back to workers.
+"""
+
+from repro.core.labeled_query import LabeledQuery
+from repro.core.embedder import EmbedderRegistry
+from repro.core.labeler import ClassifierLabeler, ClusterLabeler, Labeler
+from repro.core.classifier import QueryClassifier
+from repro.core.qworker import QWorker
+from repro.core.service import Application, QuercService
+from repro.core.training import EvaluationResult, TrainingModule, TrainingSet
+from repro.core.deployment import DeployedModel, ModelRegistry
+from repro.core.hub import ModelHub, PublishedModel
+
+__all__ = [
+    "LabeledQuery",
+    "EmbedderRegistry",
+    "Labeler",
+    "ClassifierLabeler",
+    "ClusterLabeler",
+    "QueryClassifier",
+    "QWorker",
+    "Application",
+    "QuercService",
+    "TrainingModule",
+    "TrainingSet",
+    "EvaluationResult",
+    "DeployedModel",
+    "ModelRegistry",
+    "ModelHub",
+    "PublishedModel",
+]

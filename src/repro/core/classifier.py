@@ -1,0 +1,58 @@
+"""QueryClassifier: a pre-trained (embedder, labeler) pair.
+
+"Each classifier is a pre-trained (embedder, labeler) pair. The same
+trained embedder may be used across multiple applications." (§2). The
+classifier writes its prediction into the labeled query under
+``label_name`` and passes the message on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.labeled_query import LabeledQuery
+from repro.core.labeler import Labeler
+from repro.embedding.base import QueryEmbedder
+from repro.errors import ServiceError
+
+
+class QueryClassifier:
+    """Embed then label; the unit of deployment in Querc."""
+
+    def __init__(
+        self,
+        label_name: str,
+        embedder: QueryEmbedder,
+        labeler: Labeler,
+        embedder_name: str = "",
+    ) -> None:
+        if not label_name:
+            raise ServiceError("label_name must be non-empty")
+        self.label_name = label_name
+        self.embedder = embedder
+        self.labeler = labeler
+        self.embedder_name = embedder_name or type(embedder).__name__
+
+    def fit_labeler(self, queries: list[str], labels: list) -> "QueryClassifier":
+        """Train only the labeler half (the embedder is pre-trained)."""
+        vectors = self.embedder.transform(queries)
+        self.labeler.fit(vectors, labels)
+        return self
+
+    def predict(self, queries: list[str]) -> list:
+        """Predicted labels for raw query texts."""
+        return self.labeler.predict(self.embedder.transform(queries))
+
+    def label_batch(self, batch: list[LabeledQuery]) -> list[LabeledQuery]:
+        """Apply to a message batch, attaching predictions."""
+        if not batch:
+            return []
+        predictions = self.predict([m.query for m in batch])
+        return [
+            message.with_labels(**{self.label_name: label})
+            for message, label in zip(batch, predictions)
+        ]
+
+    def vectors(self, queries: list[str]) -> np.ndarray:
+        """Expose embeddings (offline tasks reuse them)."""
+        return self.embedder.transform(queries)

@@ -1,0 +1,71 @@
+"""Model deployment: versioned classifier registry.
+
+"The training module ... deploys trained models back to Qworkers."
+The registry assigns monotone versions per (application, label) and
+pushes the new classifier into the worker, recording an audit trail —
+the modest runtime-architecture requirement the paper notes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.classifier import QueryClassifier
+from repro.core.qworker import QWorker
+from repro.errors import ServiceError
+
+
+@dataclass(frozen=True)
+class DeployedModel:
+    """One deployment event."""
+
+    application: str
+    label_name: str
+    version: int
+    embedder_name: str
+    mean_accuracy: float | None
+
+
+class ModelRegistry:
+    """Tracks deployments and performs worker hot-swaps."""
+
+    def __init__(self) -> None:
+        self._versions = itertools.count(1)
+        self._history: list[DeployedModel] = []
+
+    def deploy(
+        self,
+        worker: QWorker,
+        classifier: QueryClassifier,
+        mean_accuracy: float | None = None,
+    ) -> DeployedModel:
+        """Install ``classifier`` on ``worker`` (replacing same-label)."""
+        if classifier.embedder is None:
+            raise ServiceError("classifier has no embedder")
+        worker.replace_classifier(classifier)
+        record = DeployedModel(
+            application=worker.application,
+            label_name=classifier.label_name,
+            version=next(self._versions),
+            embedder_name=classifier.embedder_name,
+            mean_accuracy=mean_accuracy,
+        )
+        self._history.append(record)
+        return record
+
+    def history(
+        self, application: str | None = None, label_name: str | None = None
+    ) -> list[DeployedModel]:
+        """Deployment audit trail, optionally filtered."""
+        out = self._history
+        if application is not None:
+            out = [d for d in out if d.application == application]
+        if label_name is not None:
+            out = [d for d in out if d.label_name == label_name]
+        return list(out)
+
+    def current_version(self, application: str, label_name: str) -> int | None:
+        """Latest deployed version for (application, label), if any."""
+        matching = self.history(application, label_name)
+        return matching[-1].version if matching else None

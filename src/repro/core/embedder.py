@@ -1,0 +1,64 @@
+"""Embedder registry: shared, named, pre-trained representation models.
+
+The architecture's key split is that one embedder — trained once on a
+very large (possibly cross-application) workload — is shared by many
+classifiers. The registry names embedders the way Figure 1 does
+("EmbedderA(X,Y)" = trained on the combined X and Y workloads) and
+records which applications' data went into each, since log sharing
+between customers is a policy decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.embedding.base import QueryEmbedder
+from repro.errors import ServiceError
+
+
+@dataclass(frozen=True)
+class _Entry:
+    embedder: QueryEmbedder
+    trained_on: tuple[str, ...]  # application names whose logs were used
+
+
+class EmbedderRegistry:
+    """Named store of fitted embedders."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, _Entry] = {}
+
+    def register(
+        self,
+        name: str,
+        embedder: QueryEmbedder,
+        trained_on: tuple[str, ...] = (),
+    ) -> None:
+        """Register a *fitted* embedder under ``name``."""
+        if not embedder.is_fitted:
+            raise ServiceError(f"embedder {name!r} must be fitted before registry")
+        if name in self._entries:
+            raise ServiceError(f"embedder {name!r} already registered")
+        self._entries[name] = _Entry(embedder, tuple(trained_on))
+
+    def get(self, name: str) -> QueryEmbedder:
+        try:
+            return self._entries[name].embedder
+        except KeyError:
+            raise ServiceError(f"unknown embedder {name!r}") from None
+
+    def trained_on(self, name: str) -> tuple[str, ...]:
+        """Which applications' workloads trained this embedder."""
+        if name not in self._entries:
+            raise ServiceError(f"unknown embedder {name!r}")
+        return self._entries[name].trained_on
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def may_serve(self, name: str, application: str) -> bool:
+        """Log-sharing policy check: an embedder trained on some
+        applications' data may serve another application only when the
+        training set is empty (public/pretrained) or includes it."""
+        trained = self.trained_on(name)
+        return not trained or application in trained

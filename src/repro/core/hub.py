@@ -1,0 +1,108 @@
+"""Pre-trained model hub (the paper's §6 future work, implemented).
+
+"The results in Section 5 demonstrate that the proposed framework has
+potential to use pre-trained models on generic workloads to aid
+analytics for previously unseen queries. In future work, we will build
+this framework as a service which is accessible by third parties."
+
+The hub is a directory of published embedder archives plus a JSON
+index carrying provenance (training-corpus description, dimension,
+publisher). Third parties fetch by name and get a ready-to-use
+embedder — the transfer-learning path of Figure 3 as a product.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.embedding.persistence import load_embedder, save_embedder
+from repro.errors import ServiceError
+
+_INDEX_FILE = "index.json"
+
+
+@dataclass(frozen=True)
+class PublishedModel:
+    """Index entry for one published embedder."""
+
+    name: str
+    kind: str
+    dimension: int
+    corpus_description: str
+    publisher: str
+    filename: str
+
+
+class ModelHub:
+    """A filesystem-backed registry of published pre-trained embedders."""
+
+    def __init__(self, root: str | Path) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    # -- publishing ---------------------------------------------------------------
+
+    def publish(
+        self,
+        name: str,
+        embedder,
+        corpus_description: str,
+        publisher: str = "",
+    ) -> PublishedModel:
+        """Publish a fitted embedder under ``name``.
+
+        Raises when the name is taken — published models are immutable
+        so downstream users can pin them.
+        """
+        if not name or "/" in name:
+            raise ServiceError(f"invalid model name {name!r}")
+        index = self._load_index()
+        if name in index:
+            raise ServiceError(f"model {name!r} already published")
+        filename = f"{name}.npz"
+        save_embedder(embedder, self._root / filename)
+        entry = PublishedModel(
+            name=name,
+            kind=type(embedder).__name__,
+            dimension=embedder.dimension,
+            corpus_description=corpus_description,
+            publisher=publisher,
+            filename=filename,
+        )
+        index[name] = entry.__dict__
+        self._save_index(index)
+        return entry
+
+    # -- consuming ----------------------------------------------------------------
+
+    def list_models(self) -> list[PublishedModel]:
+        """All published models, sorted by name."""
+        index = self._load_index()
+        return [PublishedModel(**index[name]) for name in sorted(index)]
+
+    def describe(self, name: str) -> PublishedModel:
+        index = self._load_index()
+        if name not in index:
+            raise ServiceError(f"unknown model {name!r}")
+        return PublishedModel(**index[name])
+
+    def fetch(self, name: str):
+        """Load the published embedder, ready to transform queries."""
+        entry = self.describe(name)
+        return load_embedder(self._root / entry.filename)
+
+    # -- index io -----------------------------------------------------------------
+
+    def _load_index(self) -> dict:
+        path = self._root / _INDEX_FILE
+        if not path.exists():
+            return {}
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"corrupt hub index at {path}") from exc
+
+    def _save_index(self, index: dict) -> None:
+        (self._root / _INDEX_FILE).write_text(json.dumps(index, indent=2))

@@ -1,0 +1,46 @@
+"""The labeled-query data model.
+
+"The only messages passed between components are labeled queries. A
+labeled query is a tuple (Q, c1, c2, c3, ...) where ci is a label."
+(§2). Labels are named, so a query can arrive already equipped with a
+timestamp/userid and accumulate predicted labels as classifiers run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+
+
+@dataclass(frozen=True)
+class LabeledQuery:
+    """An immutable query + label-set pair.
+
+    ``with_labels`` returns a new instance — components never mutate
+    messages in flight, which keeps Qworkers trivially parallelizable.
+    """
+
+    query: str
+    labels: MappingProxyType = field(default_factory=lambda: MappingProxyType({}))
+
+    @staticmethod
+    def make(query: str, **labels) -> "LabeledQuery":
+        """Build a labeled query from keyword labels."""
+        return LabeledQuery(query=query, labels=MappingProxyType(dict(labels)))
+
+    def with_labels(self, **labels) -> "LabeledQuery":
+        """Return a copy with additional/overridden labels."""
+        merged = dict(self.labels)
+        merged.update(labels)
+        return LabeledQuery(query=self.query, labels=MappingProxyType(merged))
+
+    def label(self, name: str, default=None):
+        """Fetch one label, or ``default`` when absent."""
+        return self.labels.get(name, default)
+
+    def has_label(self, name: str) -> bool:
+        return name in self.labels
+
+    def as_tuple(self) -> tuple:
+        """The paper's positional view: (Q, c1, c2, ...), sorted by name."""
+        return (self.query, *(self.labels[k] for k in sorted(self.labels)))

@@ -1,0 +1,93 @@
+"""Labelers: the application-specific half of a classifier.
+
+A labeler maps embedded vectors to labels. Two adapters cover the
+paper's needs: supervised classification (``V -> user`` for security
+audits, routing, error prediction) and clustering (offline workload
+summarization). Both wrap the from-scratch estimators in
+:mod:`repro.ml`, but any object with the right duck type fits.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import LabelingError
+from repro.ml.preprocess import LabelEncoder
+
+
+class Labeler(abc.ABC):
+    """Maps embedding vectors to labels."""
+
+    @abc.abstractmethod
+    def fit(self, vectors: np.ndarray, labels: list) -> "Labeler":
+        """Train on embedded queries and their ground-truth labels."""
+
+    @abc.abstractmethod
+    def predict(self, vectors: np.ndarray) -> list:
+        """Predict one label per vector."""
+
+
+class ClassifierLabeler(Labeler):
+    """Supervised labeler around any fit/predict estimator.
+
+    ``estimator`` must expose ``fit(X, y_int)`` and ``predict(X)``;
+    label encoding/decoding to arbitrary python values is handled here.
+    """
+
+    def __init__(self, estimator) -> None:
+        self._estimator = estimator
+        self._encoder = LabelEncoder()
+        self._fitted = False
+
+    def fit(self, vectors: np.ndarray, labels: list) -> "ClassifierLabeler":
+        if len(vectors) != len(labels) or len(labels) == 0:
+            raise LabelingError("vectors/labels must be non-empty and aligned")
+        codes = self._encoder.fit_transform(labels)
+        self._estimator.fit(np.asarray(vectors, dtype=np.float64), codes)
+        self._fitted = True
+        return self
+
+    def predict(self, vectors: np.ndarray) -> list:
+        if not self._fitted:
+            raise LabelingError("labeler not fitted")
+        codes = self._estimator.predict(np.asarray(vectors, dtype=np.float64))
+        return self._encoder.inverse_transform(codes)
+
+    def predict_proba(self, vectors: np.ndarray) -> np.ndarray:
+        """Class probabilities when the estimator supports them."""
+        if not self._fitted:
+            raise LabelingError("labeler not fitted")
+        if not hasattr(self._estimator, "predict_proba"):
+            raise LabelingError("estimator has no predict_proba")
+        return self._estimator.predict_proba(
+            np.asarray(vectors, dtype=np.float64)
+        )
+
+    @property
+    def classes(self) -> list:
+        return list(self._encoder.classes_)
+
+
+class ClusterLabeler(Labeler):
+    """Unsupervised labeler: labels are cluster ids.
+
+    ``fit`` ignores provided labels (clustering is unsupervised); it
+    exists so offline tasks share the Labeler interface.
+    """
+
+    def __init__(self, clusterer) -> None:
+        self._clusterer = clusterer
+        self._fitted = False
+
+    def fit(self, vectors: np.ndarray, labels: list | None = None) -> "ClusterLabeler":
+        self._clusterer.fit(np.asarray(vectors, dtype=np.float64))
+        self._fitted = True
+        return self
+
+    def predict(self, vectors: np.ndarray) -> list:
+        if not self._fitted:
+            raise LabelingError("labeler not fitted")
+        codes = self._clusterer.predict(np.asarray(vectors, dtype=np.float64))
+        return [int(c) for c in codes]

@@ -1,0 +1,90 @@
+"""QWorker: per-application stream processor.
+
+"Each application is associated with one Qworker, but each Qworker
+operates multiple classifiers. Qworkers may not be entirely stateless,
+as some labeling tasks process a small window of queries. However, the
+state is assumed to be small..." (§2). The worker keeps exactly that: a
+bounded recent-query window, plus counters. Processed batches are both
+returned (for the database-bound path) and forked to a sink (the
+training module), covering the paper's fork-only deployment mode.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.core.classifier import QueryClassifier
+from repro.core.labeled_query import LabeledQuery
+from repro.errors import ServiceError
+
+
+class QWorker:
+    """Runs every registered classifier over each incoming batch."""
+
+    def __init__(
+        self,
+        application: str,
+        classifiers: list[QueryClassifier] | None = None,
+        window_size: int = 64,
+        forward_to_database: bool = True,
+    ) -> None:
+        if not application:
+            raise ServiceError("application name must be non-empty")
+        self.application = application
+        self._classifiers: list[QueryClassifier] = list(classifiers or [])
+        self.window: deque[LabeledQuery] = deque(maxlen=window_size)
+        self.forward_to_database = forward_to_database
+        self.processed_count = 0
+        self._sinks: list[Callable[[str, list[LabeledQuery]], None]] = []
+
+    # -- classifier management -----------------------------------------------------
+
+    @property
+    def classifiers(self) -> list[QueryClassifier]:
+        return list(self._classifiers)
+
+    def add_classifier(self, classifier: QueryClassifier) -> None:
+        if any(c.label_name == classifier.label_name for c in self._classifiers):
+            raise ServiceError(
+                f"worker {self.application} already labels "
+                f"{classifier.label_name!r}"
+            )
+        self._classifiers.append(classifier)
+
+    def replace_classifier(self, classifier: QueryClassifier) -> None:
+        """Swap in a newly deployed model for the same label."""
+        for i, existing in enumerate(self._classifiers):
+            if existing.label_name == classifier.label_name:
+                self._classifiers[i] = classifier
+                return
+        self._classifiers.append(classifier)
+
+    def add_sink(self, sink: Callable[[str, list[LabeledQuery]], None]) -> None:
+        """Attach a consumer of labeled batches (e.g. the training module)."""
+        self._sinks.append(sink)
+
+    # -- processing -------------------------------------------------------------------
+
+    def process_batch(self, batch: list[LabeledQuery]) -> list[LabeledQuery]:
+        """Label a batch with every classifier and fan out to sinks.
+
+        Returns the labeled batch — what would be forwarded to the
+        database when the worker is on the critical path (or dropped
+        when ``forward_to_database`` is False, the forked mode).
+        """
+        labeled = list(batch)
+        for classifier in self._classifiers:
+            labeled = classifier.label_batch(labeled)
+        self.window.extend(labeled)
+        self.processed_count += len(labeled)
+        for sink in self._sinks:
+            sink(self.application, labeled)
+        return labeled if self.forward_to_database else []
+
+    def recent(self, n: int) -> list[LabeledQuery]:
+        """The last ``n`` processed queries (windowed state)."""
+        if n < 0:
+            raise ServiceError("n must be non-negative")
+        items = list(self.window)
+        return items[-n:] if n else []

@@ -1,0 +1,157 @@
+"""QuercService: the Figure 1 topology.
+
+Applications (X, Y, Z) each get a Qworker; embedders are shared through
+the registry subject to the log-sharing policy; every worker forks its
+labeled batches to the central training module; the model registry
+deploys trained classifiers back. ``process`` routes an incoming
+:class:`~repro.workloads.stream.StreamBatch` to its application's
+worker — the ``query(X, t)`` arrows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.classifier import QueryClassifier
+from repro.core.deployment import DeployedModel, ModelRegistry
+from repro.core.embedder import EmbedderRegistry
+from repro.core.labeled_query import LabeledQuery
+from repro.core.qworker import QWorker
+from repro.core.training import TrainingModule
+from repro.errors import ServiceError
+from repro.workloads.logs import QueryLogRecord
+from repro.workloads.stream import StreamBatch
+
+
+@dataclass
+class Application:
+    """One tenant application and its worker."""
+
+    name: str
+    worker: QWorker
+    database: str = ""  # logical backing database, e.g. "DB(X)"
+    labels_from_logs: tuple[str, ...] = ("user", "account", "cluster")
+
+
+class QuercService:
+    """Top-level service object users interact with."""
+
+    def __init__(self, n_folds: int = 10, seed: int = 0) -> None:
+        self.embedders = EmbedderRegistry()
+        self.training = TrainingModule(n_folds=n_folds, seed=seed)
+        self.registry = ModelRegistry()
+        self._applications: dict[str, Application] = {}
+
+    # -- topology -----------------------------------------------------------------
+
+    def add_application(
+        self,
+        name: str,
+        database: str = "",
+        forward_to_database: bool = True,
+        window_size: int = 64,
+    ) -> Application:
+        """Register an application; creates its Qworker wired to training."""
+        if name in self._applications:
+            raise ServiceError(f"application {name!r} already exists")
+        worker = QWorker(
+            application=name,
+            window_size=window_size,
+            forward_to_database=forward_to_database,
+        )
+        worker.add_sink(self.training.ingest)
+        app = Application(name=name, worker=worker, database=database or f"DB({name})")
+        self._applications[name] = app
+        return app
+
+    def application(self, name: str) -> Application:
+        try:
+            return self._applications[name]
+        except KeyError:
+            raise ServiceError(f"unknown application {name!r}") from None
+
+    def application_names(self) -> list[str]:
+        return sorted(self._applications)
+
+    # -- classifier lifecycle ---------------------------------------------------------
+
+    def attach_classifier(
+        self, application: str, classifier: QueryClassifier
+    ) -> None:
+        """Attach a pre-trained classifier, enforcing log-sharing policy."""
+        app = self.application(application)
+        if classifier.embedder_name in self.embedders.names():
+            if not self.embedders.may_serve(classifier.embedder_name, application):
+                raise ServiceError(
+                    f"embedder {classifier.embedder_name!r} was not trained "
+                    f"on {application!r}'s data and sharing is not permitted"
+                )
+        app.worker.add_classifier(classifier)
+
+    def train_and_deploy(
+        self,
+        application: str,
+        label_name: str,
+        embedder_name: str,
+        training_set_name: str | None = None,
+        estimator_factory=None,
+    ) -> DeployedModel:
+        """Batch-train a labeler and hot-deploy it to the worker."""
+        app = self.application(application)
+        embedder = self.embedders.get(embedder_name)
+        if not self.embedders.may_serve(embedder_name, application):
+            raise ServiceError(
+                f"embedder {embedder_name!r} may not serve {application!r}"
+            )
+        training_set = self.training.training_set(
+            training_set_name or application
+        )
+        classifier, evaluation = self.training.train_classifier(
+            label_name=label_name,
+            embedder=embedder,
+            training_set=training_set,
+            estimator_factory=estimator_factory,
+            embedder_name=embedder_name,
+        )
+        return self.registry.deploy(
+            app.worker,
+            classifier,
+            mean_accuracy=evaluation.mean_accuracy if evaluation else None,
+        )
+
+    # -- stream processing --------------------------------------------------------------
+
+    def process(self, batch: StreamBatch) -> list[LabeledQuery]:
+        """Route one stream batch to its application's worker."""
+        app = self.application(batch.application)
+        messages = [_to_message(record) for record in batch.records]
+        return app.worker.process_batch(messages)
+
+    def import_logs(self, application: str, records: list[QueryLogRecord]) -> int:
+        """Periodic log import: ground-truth labels for training (§2).
+
+        Returns the number of records ingested.
+        """
+        app = self.application(application)
+        messages = [
+            _to_message(record, include_ground_truth=True) for record in records
+        ]
+        self.training.ingest(application, messages)
+        return len(messages)
+
+
+def _to_message(
+    record: QueryLogRecord, include_ground_truth: bool = False
+) -> LabeledQuery:
+    """Convert a log record into the wire data model."""
+    labels = {"timestamp": record.timestamp}
+    if include_ground_truth:
+        labels.update(
+            user=record.user,
+            account=record.account,
+            cluster=record.cluster,
+            runtime_seconds=record.runtime_seconds,
+            memory_mb=record.memory_mb,
+            error_code=record.error_code,
+        )
+    return LabeledQuery.make(record.query, **labels)

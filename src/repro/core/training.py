@@ -1,0 +1,173 @@
+"""Training, Evaluation & Offline Labeling — the central module of Figure 1.
+
+Responsibilities copied from §2:
+
+* collect labeled queries (from Qworker forks and periodic log imports),
+* manage named training sets,
+* run batch training of labelers over a shared embedder,
+* evaluate with cross-validation before deployment,
+* run offline labeling tasks (clustering jobs that never touch the
+  real-time path).
+
+Training is deliberately batch: "This architecture is not designed for
+continuous learning... Model training is therefore assumed to occur
+infrequently as a batch job."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.classifier import QueryClassifier
+from repro.core.labeled_query import LabeledQuery
+from repro.core.labeler import ClassifierLabeler
+from repro.embedding.base import QueryEmbedder
+from repro.errors import ServiceError
+from repro.ml.crossval import cross_val_score
+from repro.ml.forest import RandomizedForestClassifier
+from repro.ml.preprocess import LabelEncoder
+
+
+@dataclass
+class TrainingSet:
+    """A named, append-only collection of labeled queries."""
+
+    name: str
+    records: list[LabeledQuery] = field(default_factory=list)
+
+    def append(self, records: list[LabeledQuery]) -> None:
+        self.records.extend(records)
+
+    def queries(self) -> list[str]:
+        return [r.query for r in self.records]
+
+    def labels(self, label_name: str) -> list:
+        """Ground-truth column; raises when any record lacks the label."""
+        out = []
+        for record in self.records:
+            if not record.has_label(label_name):
+                raise ServiceError(
+                    f"record lacks label {label_name!r}: {record.query[:60]}"
+                )
+            out.append(record.label(label_name))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Cross-validation outcome recorded before deployment."""
+
+    label_name: str
+    embedder_name: str
+    n_samples: int
+    n_folds: int
+    fold_accuracies: tuple[float, ...]
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(self.fold_accuracies))
+
+
+class TrainingModule:
+    """Training-set management plus train/evaluate/deploy workflows."""
+
+    def __init__(self, n_folds: int = 10, seed: int = 0) -> None:
+        self.n_folds = n_folds
+        self.seed = seed
+        self._sets: dict[str, TrainingSet] = {}
+        self.evaluations: list[EvaluationResult] = []
+
+    # -- training-set management ---------------------------------------------------
+
+    def training_set(self, name: str) -> TrainingSet:
+        """Get or create the named training set."""
+        if name not in self._sets:
+            self._sets[name] = TrainingSet(name)
+        return self._sets[name]
+
+    def ingest(self, application: str, records: list[LabeledQuery]) -> None:
+        """Sink callback for Qworkers: records accumulate per application."""
+        self.training_set(application).append(records)
+
+    def set_names(self) -> list[str]:
+        return sorted(self._sets)
+
+    # -- training and evaluation ------------------------------------------------------
+
+    def train_classifier(
+        self,
+        label_name: str,
+        embedder: QueryEmbedder,
+        training_set: TrainingSet,
+        estimator_factory=None,
+        embedder_name: str = "",
+        evaluate: bool = True,
+    ) -> tuple[QueryClassifier, EvaluationResult | None]:
+        """Train (and optionally cross-validate) a labeler for one label.
+
+        The default estimator is the paper's randomized decision
+        forest; pass ``estimator_factory`` for anything else.
+        """
+        if len(training_set) == 0:
+            raise ServiceError(f"training set {training_set.name!r} is empty")
+        factory = estimator_factory or (
+            lambda: RandomizedForestClassifier(n_trees=20, max_depth=16, seed=self.seed)
+        )
+        queries = training_set.queries()
+        labels = training_set.labels(label_name)
+        vectors = embedder.transform(queries)
+
+        evaluation: EvaluationResult | None = None
+        if evaluate:
+            encoder = LabelEncoder()
+            codes = encoder.fit_transform(labels)
+            folds = min(self.n_folds, int(np.bincount(codes).min()) + 1, len(labels))
+            folds = max(2, folds)
+            scores = cross_val_score(
+                factory, vectors, codes, n_splits=folds, seed=self.seed
+            )
+            evaluation = EvaluationResult(
+                label_name=label_name,
+                embedder_name=embedder_name or type(embedder).__name__,
+                n_samples=len(labels),
+                n_folds=folds,
+                fold_accuracies=tuple(float(s) for s in scores),
+            )
+            self.evaluations.append(evaluation)
+
+        labeler = ClassifierLabeler(factory())
+        labeler.fit(vectors, labels)
+        classifier = QueryClassifier(
+            label_name=label_name,
+            embedder=embedder,
+            labeler=labeler,
+            embedder_name=embedder_name,
+        )
+        return classifier, evaluation
+
+    # -- offline labeling ----------------------------------------------------------------
+
+    def offline_label(
+        self,
+        training_set: TrainingSet,
+        embedder: QueryEmbedder,
+        clusterer,
+        label_name: str = "cluster",
+    ) -> list[LabeledQuery]:
+        """Batch clustering job: label every record with its cluster id.
+
+        This is the offline path used by workload summarization — "does
+        not require real-time labeling of individual queries" (§2).
+        """
+        queries = training_set.queries()
+        vectors = embedder.transform(queries)
+        assignments = clusterer.fit_predict(np.asarray(vectors))
+        return [
+            record.with_labels(**{label_name: int(cluster)})
+            for record, cluster in zip(training_set.records, assignments)
+        ]

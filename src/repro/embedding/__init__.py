@@ -1,0 +1,30 @@
+"""Learned query representations (the paper's §3), from scratch in numpy.
+
+Two embedder families from the paper:
+
+* :class:`~repro.embedding.doc2vec.Doc2VecEmbedder` — context
+  prediction (paragraph vectors, PV-DBOW and PV-DM variants).
+* :class:`~repro.embedding.autoencoder.LSTMAutoencoderEmbedder` — the
+  Figure 2 encoder/decoder LSTM whose final encoder state embeds the
+  query.
+
+Plus a :class:`~repro.embedding.bow.BagOfTokensEmbedder` baseline used
+by the future-work comparison benches.
+"""
+
+from repro.embedding.base import QueryEmbedder
+from repro.embedding.bow import BagOfTokensEmbedder
+from repro.embedding.doc2vec import Doc2VecEmbedder
+from repro.embedding.autoencoder import LSTMAutoencoderEmbedder
+from repro.embedding.persistence import load_embedder, save_embedder
+from repro.embedding.vocab import Vocabulary
+
+__all__ = [
+    "QueryEmbedder",
+    "BagOfTokensEmbedder",
+    "Doc2VecEmbedder",
+    "LSTMAutoencoderEmbedder",
+    "Vocabulary",
+    "save_embedder",
+    "load_embedder",
+]

@@ -1,0 +1,266 @@
+"""LSTM autoencoder embedder (the paper's Figure 2).
+
+Encoder LSTM reads the token sequence; the decoder LSTM, initialised
+with the encoder's final (h, c), reproduces the sequence under teacher
+forcing. After training, ``transform`` runs the encoder only and
+returns the hidden state of the final encoder cell as the query's
+vector representation — exactly the procedure §3 describes. The paper's
+argument for this model over Doc2Vec is that the LSTM learns its own
+context size instead of needing a window hyper-parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import QueryEmbedder
+from repro.embedding.lstm import LSTMLayer, init_lstm_params
+from repro.embedding.optimizers import Adam, clip_gradients
+from repro.embedding.vocab import Vocabulary
+from repro.errors import EmbeddingError
+
+
+class LSTMAutoencoderEmbedder(QueryEmbedder):
+    """Sequence-to-sequence reconstruction model over query tokens.
+
+    Parameters
+    ----------
+    dimension:
+        Hidden size of both LSTMs — and therefore the embedding size.
+    embed_size:
+        Token embedding width (input to both LSTMs).
+    max_len:
+        Sequences are truncated here; SQL queries longer than this keep
+        their prefix, which in practice contains the SELECT/FROM core.
+    epochs / batch_size / learning_rate:
+        Adam training schedule.
+    tie_projection:
+        When True the output projection reuses the token embedding
+        matrix (transposed) — fewer parameters, a standard trick.
+    """
+
+    def __init__(
+        self,
+        dimension: int = 64,
+        embed_size: int = 32,
+        max_len: int = 64,
+        epochs: int = 8,
+        batch_size: int = 64,
+        learning_rate: float = 2e-3,
+        min_count: int = 2,
+        max_vocab: int = 8000,
+        grad_clip: float = 5.0,
+        tie_projection: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(dimension, seed)
+        self.embed_size = embed_size
+        self.max_len = max_len
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.min_count = min_count
+        self.max_vocab = max_vocab
+        self.grad_clip = grad_clip
+        self.tie_projection = tie_projection
+        self._vocab: Vocabulary | None = None
+        self._params: dict[str, np.ndarray] = {}
+        self._encoder: LSTMLayer | None = None
+        self._decoder: LSTMLayer | None = None
+        self.loss_history: list[float] = []
+
+    # -- model setup -------------------------------------------------------------
+
+    def _init_model(self, vocab_size: int, rng: np.random.Generator) -> None:
+        emb_scale = 1.0 / np.sqrt(self.embed_size)
+        self._params = {
+            "emb": rng.uniform(-emb_scale, emb_scale, (vocab_size, self.embed_size)),
+        }
+        self._params.update(
+            init_lstm_params(self.embed_size, self._dimension, rng, "enc")
+        )
+        self._params.update(
+            init_lstm_params(self.embed_size, self._dimension, rng, "dec")
+        )
+        if self.tie_projection:
+            # project H -> E, then reuse emb.T for E -> V
+            proj_scale = np.sqrt(6.0 / (self._dimension + self.embed_size))
+            self._params["proj"] = rng.uniform(
+                -proj_scale, proj_scale, (self._dimension, self.embed_size)
+            )
+        else:
+            proj_scale = np.sqrt(6.0 / (self._dimension + vocab_size))
+            self._params["proj"] = rng.uniform(
+                -proj_scale, proj_scale, (self._dimension, vocab_size)
+            )
+        self._params["proj_b"] = np.zeros(vocab_size)
+        self._encoder = LSTMLayer(self.embed_size, self._dimension, "enc")
+        self._decoder = LSTMLayer(self.embed_size, self._dimension, "dec")
+
+    # -- data prep ----------------------------------------------------------------
+
+    def _encode_batch(
+        self, docs: list[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pad a list of id arrays to (B, T) plus a float mask (B, T)."""
+        assert self._vocab is not None
+        max_t = max(1, max(len(d) for d in docs))
+        ids = np.full((len(docs), max_t), self._vocab.pad_id, dtype=np.int64)
+        mask = np.zeros((len(docs), max_t))
+        for row, doc in enumerate(docs):
+            n = len(doc)
+            if n:
+                ids[row, :n] = doc
+                mask[row, :n] = 1.0
+            else:  # empty query: a lone EOS keeps shapes valid
+                ids[row, 0] = self._vocab.eos_id
+                mask[row, 0] = 1.0
+        return ids, mask
+
+    def _documents(self, corpus: list[list[str]]) -> list[np.ndarray]:
+        assert self._vocab is not None
+        docs = []
+        for tokens in corpus:
+            ids = self._vocab.encode(tokens[: self.max_len - 1])
+            docs.append(np.append(ids, self._vocab.eos_id))
+        return docs
+
+    # -- training ------------------------------------------------------------------
+
+    def _fit_tokenized(self, corpus: list[list[str]]) -> None:
+        rng = np.random.default_rng(self._seed)
+        self._vocab = Vocabulary(corpus, self.min_count, self.max_vocab)
+        self._init_model(len(self._vocab), rng)
+        docs = self._documents(corpus)
+        optimizer = Adam(self.learning_rate)
+        order = np.arange(len(docs))
+        self.loss_history = []
+        for _ in range(self.epochs):
+            rng.shuffle(order)
+            epoch_loss = 0.0
+            epoch_tokens = 0
+            for start in range(0, len(order), self.batch_size):
+                batch_docs = [docs[i] for i in order[start : start + self.batch_size]]
+                loss, grads, n_tokens = self._forward_backward(batch_docs)
+                norm = clip_gradients(grads, self.grad_clip)
+                del norm
+                optimizer.step(self._params, grads)
+                epoch_loss += loss
+                epoch_tokens += n_tokens
+            self.loss_history.append(epoch_loss / max(1, epoch_tokens))
+
+    def _forward_backward(
+        self, batch_docs: list[np.ndarray]
+    ) -> tuple[float, dict[str, np.ndarray], int]:
+        """One training step: masked teacher-forced reconstruction."""
+        assert self._vocab is not None
+        assert self._encoder is not None and self._decoder is not None
+        params = self._params
+        ids, mask = self._encode_batch(batch_docs)  # (B, T)
+        batch, steps = ids.shape
+
+        emb = params["emb"]
+        enc_inputs = emb[ids].transpose(1, 0, 2)  # (T, B, E)
+        enc_mask = mask.T  # (T, B)
+        _, h_enc, c_enc = self._encoder.forward(params, enc_inputs, enc_mask)
+
+        # decoder inputs: BOS, w1 .. w_{T-1}; targets: w1 .. wT
+        dec_ids = np.concatenate(
+            [np.full((batch, 1), self._vocab.bos_id, dtype=np.int64), ids[:, :-1]],
+            axis=1,
+        )
+        dec_inputs = emb[dec_ids].transpose(1, 0, 2)
+        dec_out, _, _ = self._decoder.forward(
+            params, dec_inputs, enc_mask, h0=h_enc, c0=c_enc
+        )
+
+        proj = params["proj"]
+        proj_b = params["proj_b"]
+        grads: dict[str, np.ndarray] = {
+            "emb": np.zeros_like(emb),
+            "proj": np.zeros_like(proj),
+            "proj_b": np.zeros_like(proj_b),
+        }
+        d_dec_out = np.zeros_like(dec_out)
+        total_loss = 0.0
+        total_tokens = int(mask.sum())
+
+        # step-at-a-time softmax keeps the (B, V) logits memory bounded
+        for t in range(steps):
+            m = enc_mask[t]
+            if not m.any():
+                continue
+            hidden_t = dec_out[t]  # (B, H)
+            if self.tie_projection:
+                pre = hidden_t @ proj  # (B, E)
+                logits = pre @ emb.T + proj_b
+            else:
+                logits = hidden_t @ proj + proj_b
+            logits -= logits.max(axis=1, keepdims=True)
+            exp = np.exp(logits)
+            probs = exp / exp.sum(axis=1, keepdims=True)
+            target = ids[:, t]
+            picked = probs[np.arange(batch), target]
+            total_loss += float(-(np.log(picked + 1e-12) * m).sum())
+            d_logits = probs
+            d_logits[np.arange(batch), target] -= 1.0
+            d_logits *= m[:, None] / max(1, total_tokens)
+            grads["proj_b"] += d_logits.sum(axis=0)
+            if self.tie_projection:
+                d_pre = d_logits @ emb  # (B, E)
+                grads["emb"] += d_logits.T @ pre
+                grads["proj"] += hidden_t.T @ d_pre
+                d_dec_out[t] = d_pre @ proj.T
+            else:
+                grads["proj"] += hidden_t.T @ d_logits
+                d_dec_out[t] = d_logits @ proj.T
+
+        d_dec_in, d_h0, d_c0 = self._decoder.backward(params, grads, d_dec_out)
+        d_enc_in, _, _ = self._encoder.backward(
+            params, grads, None, d_h_final=d_h0, d_c_final=d_c0
+        )
+
+        # embedding gradients from both LSTMs' inputs
+        np.add.at(
+            grads["emb"],
+            dec_ids.T.ravel(),
+            d_dec_in.reshape(-1, self.embed_size),
+        )
+        np.add.at(
+            grads["emb"],
+            ids.T.ravel(),
+            d_enc_in.reshape(-1, self.embed_size),
+        )
+        return total_loss, grads, total_tokens
+
+    # -- inference -------------------------------------------------------------------
+
+    def _transform_tokenized(self, queries: list[list[str]]) -> np.ndarray:
+        assert self._vocab is not None and self._encoder is not None
+        docs = self._documents(queries)
+        out = np.zeros((len(queries), self._dimension))
+        for start in range(0, len(docs), self.batch_size):
+            chunk = docs[start : start + self.batch_size]
+            ids, mask = self._encode_batch(chunk)
+            inputs = self._params["emb"][ids].transpose(1, 0, 2)
+            _, h_final, _ = self._encoder.forward(self._params, inputs, mask.T)
+            out[start : start + len(chunk)] = h_final
+        return out
+
+    def reconstruction_loss(self, queries: list[str]) -> float:
+        """Mean per-token reconstruction loss on ``queries`` (no updates).
+
+        Useful as a drift/anomaly signal and in tests: training must
+        reduce this value on the training corpus.
+        """
+        if not self._fitted:
+            raise EmbeddingError("reconstruction_loss requires a fitted model")
+        docs = self._documents([self.tokenize(q) for q in queries])
+        total_loss = 0.0
+        total_tokens = 0
+        for start in range(0, len(docs), self.batch_size):
+            chunk = docs[start : start + self.batch_size]
+            loss, _, n_tokens = self._forward_backward(chunk)
+            total_loss += loss
+            total_tokens += n_tokens
+        return total_loss / max(1, total_tokens)

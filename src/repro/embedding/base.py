@@ -1,0 +1,98 @@
+"""Common interface for query embedders.
+
+Every embedder maps raw query text to a fixed-size float vector. The
+base class owns tokenization (via the dialect-tolerant normalizer) and
+the fitted-state bookkeeping, so subclasses implement only
+``_fit_tokenized`` and ``_transform_tokenized``.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import EmbeddingError, NotFittedError
+from repro.sql.normalizer import token_stream
+
+
+class QueryEmbedder(abc.ABC):
+    """Maps SQL text to dense vectors; the 'embedder' half of a classifier.
+
+    Subclasses implement the two ``*_tokenized`` hooks. ``fit`` /
+    ``transform`` / ``fit_transform`` are the public API used by Querc
+    and by every application.
+    """
+
+    def __init__(self, dimension: int, seed: int = 0) -> None:
+        if dimension <= 0:
+            raise EmbeddingError("dimension must be positive")
+        self._dimension = int(dimension)
+        self._seed = int(seed)
+        self._fitted = False
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        """Size of the produced vectors."""
+        return self._dimension
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def fit(self, corpus: Sequence[str]) -> "QueryEmbedder":
+        """Train the representation model on raw query texts."""
+        if len(corpus) == 0:
+            raise EmbeddingError("cannot fit an embedder on an empty corpus")
+        self._fit_tokenized([self.tokenize(q) for q in corpus])
+        self._fitted = True
+        return self
+
+    def transform(self, queries: Sequence[str]) -> np.ndarray:
+        """Embed raw query texts; returns shape (len(queries), dimension)."""
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__}.transform called before fit"
+            )
+        if len(queries) == 0:
+            return np.zeros((0, self._dimension), dtype=np.float64)
+        out = self._transform_tokenized([self.tokenize(q) for q in queries])
+        if out.shape != (len(queries), self._dimension):
+            raise EmbeddingError(
+                f"embedder produced shape {out.shape}, expected "
+                f"({len(queries)}, {self._dimension})"
+            )
+        return out
+
+    def fit_transform(self, corpus: Sequence[str]) -> np.ndarray:
+        self.fit(corpus)
+        return self.transform(corpus)
+
+    def embed(self, query: str) -> np.ndarray:
+        """Embed a single query; returns shape (dimension,)."""
+        return self.transform([query])[0]
+
+    @staticmethod
+    def tokenize(query: str) -> list[str]:
+        """Token sequence fed to the model (literals folded).
+
+        Lexically broken queries degrade to whitespace tokens rather
+        than raising: Querc must embed anything the log contains.
+        """
+        try:
+            return token_stream(query, fold_literals=True)
+        except Exception:  # noqa: BLE001 - logs contain garbage; stay total
+            return query.split()
+
+    # -- subclass hooks ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def _fit_tokenized(self, corpus: list[list[str]]) -> None:
+        """Train on the tokenized corpus."""
+
+    @abc.abstractmethod
+    def _transform_tokenized(self, queries: list[list[str]]) -> np.ndarray:
+        """Embed tokenized queries; must return (n, dimension) float64."""

@@ -1,0 +1,97 @@
+"""Bag-of-tokens / tf-idf baseline embedder.
+
+The paper's future-work section cites bag-of-words among the
+non-neural-network representations shown elsewhere to underperform
+learned embeddings; this implementation exists so our ablation benches
+can make that comparison concrete. An optional truncated-SVD step
+("LSA") produces dense vectors of the same dimensionality as the
+learned embedders, keeping labeler capacity constant across methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import QueryEmbedder
+from repro.embedding.vocab import Vocabulary
+
+
+class BagOfTokensEmbedder(QueryEmbedder):
+    """tf-idf over the token vocabulary, compressed with truncated SVD."""
+
+    def __init__(
+        self,
+        dimension: int = 64,
+        min_count: int = 2,
+        max_vocab: int = 20000,
+        use_idf: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(dimension, seed)
+        self.min_count = min_count
+        self.max_vocab = max_vocab
+        self.use_idf = use_idf
+        self._vocab: Vocabulary | None = None
+        self._idf: np.ndarray | None = None
+        self._components: np.ndarray | None = None  # (vocab, dimension)
+
+    def _fit_tokenized(self, corpus: list[list[str]]) -> None:
+        self._vocab = Vocabulary(corpus, min_count=self.min_count, max_size=self.max_vocab)
+        counts = self._count_matrix(corpus)
+        doc_freq = (counts > 0).sum(axis=0)
+        n_docs = counts.shape[0]
+        self._idf = np.log((1.0 + n_docs) / (1.0 + doc_freq)) + 1.0
+        weighted = self._weight(counts)
+        self._components = _truncated_svd_components(
+            weighted, self._dimension, seed=self._seed
+        )
+
+    def _transform_tokenized(self, queries: list[list[str]]) -> np.ndarray:
+        assert self._vocab is not None and self._components is not None
+        counts = self._count_matrix(queries)
+        return self._weight(counts) @ self._components
+
+    def _count_matrix(self, docs: list[list[str]]) -> np.ndarray:
+        assert self._vocab is not None
+        out = np.zeros((len(docs), len(self._vocab)), dtype=np.float64)
+        for row, tokens in enumerate(docs):
+            ids = self._vocab.encode(tokens)
+            np.add.at(out[row], ids, 1.0)
+        # UNK/PAD columns carry no signal
+        out[:, : 4] = 0.0
+        return out
+
+    def _weight(self, counts: np.ndarray) -> np.ndarray:
+        weighted = counts.copy()
+        if self.use_idf:
+            assert self._idf is not None
+            weighted *= self._idf
+        norms = np.linalg.norm(weighted, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return weighted / norms
+
+
+def _truncated_svd_components(
+    matrix: np.ndarray, rank: int, seed: int, n_iter: int = 4
+) -> np.ndarray:
+    """Randomized truncated SVD; returns V_k (features × rank).
+
+    Standard Halko-style randomized range finder — cheap, accurate
+    enough for LSA-style compression, and dependency-free.
+    """
+    rng = np.random.default_rng(seed)
+    n_features = matrix.shape[1]
+    k = min(rank, min(matrix.shape))
+    sketch = rng.standard_normal((n_features, k + 8))
+    sample = matrix @ sketch
+    for _ in range(n_iter):
+        sample = matrix @ (matrix.T @ sample)
+        sample, _ = np.linalg.qr(sample)
+    q, _ = np.linalg.qr(sample)
+    small = q.T @ matrix
+    _, _, vt = np.linalg.svd(small, full_matrices=False)
+    components = vt[:k].T
+    if k < rank:  # pad when the corpus is smaller than the requested rank
+        pad = np.zeros((n_features, rank - k))
+        components = np.hstack([components, pad])
+    return components

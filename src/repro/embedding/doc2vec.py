@@ -1,0 +1,262 @@
+"""Doc2Vec (paragraph vectors) from scratch: PV-DBOW and PV-DM.
+
+This is the paper's *context prediction* embedder (§3): each query is a
+"document" whose learned vector must predict the tokens (PV-DBOW) or
+help a context window predict its center token (PV-DM). Training uses
+negative sampling over the smoothed unigram distribution, exactly as in
+Mikolov et al.; unseen queries are embedded at ``transform`` time by
+gradient inference against the frozen output layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import QueryEmbedder
+from repro.embedding.vocab import RESERVED, Vocabulary
+from repro.errors import EmbeddingError
+
+_CHUNK = 2048  # minibatch size for the vectorized updates
+
+
+class Doc2VecEmbedder(QueryEmbedder):
+    """Paragraph-vector embedder.
+
+    Parameters
+    ----------
+    dimension:
+        Size of the learned vectors.
+    variant:
+        ``"dbow"`` (distributed bag of words — the doc vector predicts
+        each token) or ``"dm"`` (distributed memory — doc vector plus
+        averaged context predicts the center token).
+    window:
+        Context radius for PV-DM (ignored by PV-DBOW). The paper notes
+        choosing this is awkward for SQL — that is its argument for the
+        LSTM autoencoder.
+    negative:
+        Number of negative samples per positive example.
+    epochs / learning_rate:
+        SGD schedule; the rate decays linearly to 10% over training.
+    infer_epochs:
+        Gradient steps used to embed unseen queries at transform time.
+    """
+
+    def __init__(
+        self,
+        dimension: int = 64,
+        variant: str = "dbow",
+        window: int = 4,
+        negative: int = 5,
+        epochs: int = 10,
+        learning_rate: float = 0.05,
+        min_count: int = 2,
+        max_vocab: int = 20000,
+        subsample: float = 1e-3,
+        infer_epochs: int = 20,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(dimension, seed)
+        if variant not in ("dbow", "dm"):
+            raise EmbeddingError(f"unknown Doc2Vec variant: {variant!r}")
+        if negative < 1:
+            raise EmbeddingError("negative sampling requires negative >= 1")
+        self.variant = variant
+        self.window = window
+        self.negative = negative
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.min_count = min_count
+        self.max_vocab = max_vocab
+        self.subsample = subsample
+        self.infer_epochs = infer_epochs
+        self._vocab: Vocabulary | None = None
+        self._word_in: np.ndarray | None = None  # (V, dim) PV-DM input vectors
+        self._word_out: np.ndarray | None = None  # (V, dim) output layer
+        self._neg_cumprobs: np.ndarray | None = None
+        self.doc_vectors: np.ndarray | None = None  # training-corpus vectors
+
+    # -- fitting ----------------------------------------------------------------
+
+    def _fit_tokenized(self, corpus: list[list[str]]) -> None:
+        rng = np.random.default_rng(self._seed)
+        self._vocab = Vocabulary(corpus, self.min_count, self.max_vocab)
+        vocab_size = len(self._vocab)
+        scale = 1.0 / self._dimension
+        self._word_in = rng.uniform(-scale, scale, (vocab_size, self._dimension))
+        self._word_out = np.zeros((vocab_size, self._dimension))
+        self._neg_cumprobs = np.cumsum(self._vocab.negative_sampling_table())
+        docs = self._prepare_documents(corpus, rng)
+        self.doc_vectors = rng.uniform(
+            -scale, scale, (len(corpus), self._dimension)
+        )
+        self._train(self.doc_vectors, docs, self.epochs, rng, update_words=True)
+
+    def _prepare_documents(
+        self,
+        corpus: list[list[str]],
+        rng: np.random.Generator,
+        subsample: bool = True,
+    ) -> list[np.ndarray]:
+        """Encode (and during training, subsample) each document.
+
+        Subsampling applies only while *fitting*: at inference time an
+        out-of-vocabulary-heavy query may consist almost entirely of
+        frequent shared tokens (keywords, placeholders), and dropping
+        them would leave nothing to infer from — the transfer-learning
+        setting of Figure 3 depends on keeping them.
+        """
+        assert self._vocab is not None
+        keep = self._vocab.subsample_keep_probabilities(self.subsample)
+        docs: list[np.ndarray] = []
+        for tokens in corpus:
+            ids = self._vocab.encode(tokens)
+            ids = ids[ids >= len(RESERVED)]  # drop UNK/specials
+            if subsample and self.subsample > 0 and len(ids):
+                ids = ids[rng.random(len(ids)) < keep[ids]]
+            docs.append(ids)
+        return docs
+
+    # -- training core -------------------------------------------------------------
+
+    def _train(
+        self,
+        doc_vectors: np.ndarray,
+        docs: list[np.ndarray],
+        epochs: int,
+        rng: np.random.Generator,
+        update_words: bool,
+    ) -> None:
+        """Run negative-sampling SGD over all (doc, position) examples.
+
+        ``update_words`` is False during inference so the frozen model
+        is only read, never written.
+        """
+        doc_idx, targets, contexts = self._build_examples(docs)
+        if len(targets) == 0:
+            return
+        n_examples = len(targets)
+        order = np.arange(n_examples)
+        total_steps = max(1, epochs * n_examples)
+        seen = 0
+        for _ in range(epochs):
+            rng.shuffle(order)
+            for start in range(0, n_examples, _CHUNK):
+                batch = order[start : start + _CHUNK]
+                progress = seen / total_steps
+                lr = self.learning_rate * max(0.1, 1.0 - progress)
+                ctx = contexts[batch] if contexts is not None else None
+                self._update_batch(
+                    doc_vectors, doc_idx[batch], targets[batch], ctx, lr, rng,
+                    update_words,
+                )
+                seen += len(batch)
+
+    def _build_examples(
+        self, docs: list[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Flatten documents into parallel example arrays.
+
+        Returns (doc index, target token, context matrix or None). The
+        context matrix is (n, 2*window) padded with PAD=0, which the
+        update masks out.
+        """
+        doc_idx_parts: list[np.ndarray] = []
+        target_parts: list[np.ndarray] = []
+        context_parts: list[np.ndarray] = []
+        w = self.window
+        for d, ids in enumerate(docs):
+            n = len(ids)
+            if n == 0:
+                continue
+            doc_idx_parts.append(np.full(n, d, dtype=np.int64))
+            target_parts.append(ids)
+            if self.variant == "dm":
+                padded = np.concatenate(
+                    [np.zeros(w, dtype=np.int64), ids, np.zeros(w, dtype=np.int64)]
+                )
+                windows = np.lib.stride_tricks.sliding_window_view(padded, 2 * w + 1)
+                ctx = np.delete(windows, w, axis=1)  # drop the center column
+                context_parts.append(ctx)
+        if not target_parts:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, None
+        doc_idx = np.concatenate(doc_idx_parts)
+        targets = np.concatenate(target_parts)
+        contexts = (
+            np.concatenate(context_parts) if self.variant == "dm" else None
+        )
+        return doc_idx, targets, contexts
+
+    def _update_batch(
+        self,
+        doc_vectors: np.ndarray,
+        doc_idx: np.ndarray,
+        targets: np.ndarray,
+        contexts: np.ndarray | None,
+        lr: float,
+        rng: np.random.Generator,
+        update_words: bool,
+    ) -> None:
+        assert self._word_out is not None and self._neg_cumprobs is not None
+        batch_size = len(targets)
+        negatives = np.searchsorted(
+            self._neg_cumprobs, rng.random((batch_size, self.negative))
+        )
+        out_ids = np.concatenate([targets[:, None], negatives], axis=1)  # (B, 1+k)
+        labels = np.zeros((batch_size, 1 + self.negative))
+        labels[:, 0] = 1.0
+
+        if self.variant == "dbow" or contexts is None:
+            hidden = doc_vectors[doc_idx]  # (B, dim)
+        else:
+            assert self._word_in is not None
+            mask = (contexts != 0).astype(np.float64)[:, :, None]  # (B, 2w, 1)
+            ctx_vecs = self._word_in[contexts] * mask
+            denom = mask.sum(axis=1) + 1.0  # + doc vector itself
+            hidden = (doc_vectors[doc_idx] + ctx_vecs.sum(axis=1)) / denom
+
+        out_vecs = self._word_out[out_ids]  # (B, 1+k, dim)
+        scores = np.einsum("bd,bkd->bk", hidden, out_vecs)
+        sig = 1.0 / (1.0 + np.exp(-np.clip(scores, -30, 30)))
+        delta = (sig - labels) * lr  # (B, 1+k)
+        grad_hidden = np.einsum("bk,bkd->bd", delta, out_vecs)
+
+        if update_words:
+            grad_out = delta[:, :, None] * hidden[:, None, :]
+            np.add.at(
+                self._word_out,
+                out_ids.ravel(),
+                -grad_out.reshape(-1, self._dimension),
+            )
+
+        if self.variant == "dbow" or contexts is None:
+            np.add.at(doc_vectors, doc_idx, -grad_hidden)
+        else:
+            scaled = grad_hidden / denom
+            np.add.at(doc_vectors, doc_idx, -scaled)
+            if update_words:
+                assert self._word_in is not None
+                spread = scaled[:, None, :] * mask
+                np.add.at(
+                    self._word_in,
+                    contexts.ravel(),
+                    -spread.reshape(-1, self._dimension),
+                )
+
+    # -- inference -----------------------------------------------------------------
+
+    def _transform_tokenized(self, queries: list[list[str]]) -> np.ndarray:
+        """Infer vectors for (possibly unseen) queries.
+
+        Each query gets a fresh vector trained for ``infer_epochs``
+        against the frozen word matrices — the standard Doc2Vec
+        inference procedure.
+        """
+        assert self._vocab is not None
+        rng = np.random.default_rng(self._seed + 1)
+        docs = self._prepare_documents(queries, rng, subsample=False)
+        scale = 1.0 / self._dimension
+        vectors = rng.uniform(-scale, scale, (len(queries), self._dimension))
+        self._train(vectors, docs, self.infer_epochs, rng, update_words=False)
+        return vectors

@@ -1,0 +1,185 @@
+"""LSTM layer (forward + backpropagation through time) in numpy.
+
+Gate layout follows the common convention ``[i, f, g, o]`` packed into
+one matrix product per step. Variable-length batches are handled with a
+mask: masked steps copy the previous state forward, so the state at the
+last time step always equals the state at each sequence's true end —
+this is what lets the autoencoder read "the final encoder cell" without
+per-sequence gathers, and the backward pass routes gradients through
+the copy path accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+
+
+def init_lstm_params(
+    input_size: int, hidden_size: int, rng: np.random.Generator, prefix: str
+) -> dict[str, np.ndarray]:
+    """Glorot-style initialization; forget-gate bias starts at 1.0."""
+    bound_x = np.sqrt(6.0 / (input_size + 4 * hidden_size))
+    bound_h = np.sqrt(6.0 / (hidden_size + 4 * hidden_size))
+    bias = np.zeros(4 * hidden_size)
+    bias[hidden_size : 2 * hidden_size] = 1.0  # remember by default
+    return {
+        f"{prefix}_Wx": rng.uniform(-bound_x, bound_x, (input_size, 4 * hidden_size)),
+        f"{prefix}_Wh": rng.uniform(-bound_h, bound_h, (hidden_size, 4 * hidden_size)),
+        f"{prefix}_b": bias,
+    }
+
+
+@dataclass
+class _StepCache:
+    """Intermediates of one forward step, kept for the backward pass."""
+
+    x: np.ndarray
+    h_prev: np.ndarray
+    c_prev: np.ndarray
+    i: np.ndarray
+    f: np.ndarray
+    g: np.ndarray
+    o: np.ndarray
+    c_cell: np.ndarray
+    tanh_c: np.ndarray
+    mask: np.ndarray  # (B, 1)
+
+
+@dataclass
+class LSTMLayer:
+    """One LSTM layer bound to a parameter dict by key prefix."""
+
+    input_size: int
+    hidden_size: int
+    prefix: str
+    _caches: list[_StepCache] = field(default_factory=list, repr=False)
+
+    def forward(
+        self,
+        params: dict[str, np.ndarray],
+        inputs: np.ndarray,
+        mask: np.ndarray,
+        h0: np.ndarray | None = None,
+        c0: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run the layer over a batch.
+
+        Parameters
+        ----------
+        inputs: (T, B, input_size) float array.
+        mask:   (T, B) — 1.0 for real steps, 0.0 for padding.
+        h0/c0:  optional initial state, shape (B, hidden_size).
+
+        Returns
+        -------
+        (all hidden states (T, B, H), final h (B, H), final c (B, H)).
+        """
+        steps, batch, feat = inputs.shape
+        if feat != self.input_size:
+            raise EmbeddingError(
+                f"LSTM expected input size {self.input_size}, got {feat}"
+            )
+        wx = params[f"{self.prefix}_Wx"]
+        wh = params[f"{self.prefix}_Wh"]
+        b = params[f"{self.prefix}_b"]
+        hidden = self.hidden_size
+
+        h = np.zeros((batch, hidden)) if h0 is None else h0
+        c = np.zeros((batch, hidden)) if c0 is None else c0
+        self._caches = []
+        out = np.empty((steps, batch, hidden))
+        for t in range(steps):
+            x_t = inputs[t]
+            m = mask[t][:, None]
+            z = x_t @ wx + h @ wh + b
+            i = _sigmoid(z[:, :hidden])
+            f = _sigmoid(z[:, hidden : 2 * hidden])
+            g = np.tanh(z[:, 2 * hidden : 3 * hidden])
+            o = _sigmoid(z[:, 3 * hidden :])
+            c_cell = f * c + i * g
+            tanh_c = np.tanh(c_cell)
+            h_cell = o * tanh_c
+            self._caches.append(
+                _StepCache(x_t, h, c, i, f, g, o, c_cell, tanh_c, m)
+            )
+            h = m * h_cell + (1.0 - m) * h
+            c = m * c_cell + (1.0 - m) * c
+            out[t] = h
+        return out, h, c
+
+    def backward(
+        self,
+        params: dict[str, np.ndarray],
+        grads: dict[str, np.ndarray],
+        d_out: np.ndarray | None,
+        d_h_final: np.ndarray | None = None,
+        d_c_final: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """BPTT through the cached forward pass.
+
+        ``d_out`` is the gradient w.r.t. every hidden state (T, B, H) or
+        None; ``d_h_final``/``d_c_final`` add gradient at the last step
+        (used when only the final state feeds the loss). Parameter
+        gradients are accumulated into ``grads``; returns gradients
+        w.r.t. the inputs and the initial state (dx, dh0, dc0).
+        """
+        if not self._caches:
+            raise EmbeddingError("backward called before forward")
+        wx = params[f"{self.prefix}_Wx"]
+        wh = params[f"{self.prefix}_Wh"]
+        hidden = self.hidden_size
+        steps = len(self._caches)
+        batch = self._caches[0].h_prev.shape[0]
+
+        g_wx = grads.setdefault(f"{self.prefix}_Wx", np.zeros_like(wx))
+        g_wh = grads.setdefault(f"{self.prefix}_Wh", np.zeros_like(wh))
+        g_b = grads.setdefault(
+            f"{self.prefix}_b", np.zeros_like(params[f"{self.prefix}_b"])
+        )
+
+        dx = np.zeros((steps, batch, self.input_size))
+        dh = np.zeros((batch, hidden)) if d_h_final is None else d_h_final.copy()
+        dc = np.zeros((batch, hidden)) if d_c_final is None else d_c_final.copy()
+
+        for t in range(steps - 1, -1, -1):
+            cache = self._caches[t]
+            if d_out is not None:
+                dh = dh + d_out[t]
+            m = cache.mask
+            dh_cell = dh * m
+            dh_copy = dh * (1.0 - m)
+            dc_cell = dc * m
+            dc_copy = dc * (1.0 - m)
+
+            do = dh_cell * cache.tanh_c
+            dc_inner = dc_cell + dh_cell * cache.o * (1.0 - cache.tanh_c**2)
+            di = dc_inner * cache.g
+            df = dc_inner * cache.c_prev
+            dg = dc_inner * cache.i
+            dc_prev = dc_inner * cache.f + dc_copy
+
+            dz = np.concatenate(
+                [
+                    di * cache.i * (1.0 - cache.i),
+                    df * cache.f * (1.0 - cache.f),
+                    dg * (1.0 - cache.g**2),
+                    do * cache.o * (1.0 - cache.o),
+                ],
+                axis=1,
+            )
+            g_wx += cache.x.T @ dz
+            g_wh += cache.h_prev.T @ dz
+            g_b += dz.sum(axis=0)
+            dx[t] = dz @ wx.T
+            dh = dz @ wh.T + dh_copy
+            dc = dc_prev
+        self._caches = []
+        return dx, dh, dc
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))

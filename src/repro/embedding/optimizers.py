@@ -1,0 +1,106 @@
+"""Gradient-descent optimizers over named parameter dictionaries.
+
+Used by the LSTM autoencoder (Adam) and available to any other model.
+Parameters and gradients are ``dict[str, np.ndarray]`` with matching
+keys; ``step`` updates parameters in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+
+Params = dict[str, np.ndarray]
+
+
+class SGD:
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.1, momentum: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise EmbeddingError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: Params = {}
+
+    def step(self, params: Params, grads: Params) -> None:
+        for name, param in params.items():
+            grad = grads[name]
+            if self.momentum > 0.0:
+                vel = self._velocity.setdefault(name, np.zeros_like(param))
+                vel *= self.momentum
+                vel -= self.learning_rate * grad
+                param += vel
+            else:
+                param -= self.learning_rate * grad
+
+
+class Adagrad:
+    """Adagrad — per-parameter adaptive rates, good for sparse updates."""
+
+    def __init__(self, learning_rate: float = 0.05, eps: float = 1e-8) -> None:
+        if learning_rate <= 0:
+            raise EmbeddingError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.eps = eps
+        self._accum: Params = {}
+
+    def step(self, params: Params, grads: Params) -> None:
+        for name, param in params.items():
+            grad = grads[name]
+            acc = self._accum.setdefault(name, np.zeros_like(param))
+            acc += grad * grad
+            param -= self.learning_rate * grad / (np.sqrt(acc) + self.eps)
+
+
+class Adam:
+    """Adam with bias correction (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise EmbeddingError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Params = {}
+        self._v: Params = {}
+        self._t = 0
+
+    def step(self, params: Params, grads: Params) -> None:
+        self._t += 1
+        lr_t = (
+            self.learning_rate
+            * np.sqrt(1.0 - self.beta2**self._t)
+            / (1.0 - self.beta1**self._t)
+        )
+        for name, param in params.items():
+            grad = grads[name]
+            m = self._m.setdefault(name, np.zeros_like(param))
+            v = self._v.setdefault(name, np.zeros_like(param))
+            m += (1.0 - self.beta1) * (grad - m)
+            v += (1.0 - self.beta2) * (grad * grad - v)
+            param -= lr_t * m / (np.sqrt(v) + self.eps)
+
+
+def clip_gradients(grads: Params, max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for monitoring training health).
+    """
+    total = 0.0
+    for grad in grads.values():
+        total += float(np.sum(grad * grad))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for grad in grads.values():
+            grad *= scale
+    return norm

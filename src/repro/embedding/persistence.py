@@ -1,0 +1,185 @@
+"""Embedder persistence: save/load trained models as ``.npz`` archives.
+
+The training module trains embedders on very large corpora and ships
+them to Qworkers (and, per the paper's future work, to third parties as
+pre-trained models). This module serializes any of the built-in
+embedders to a single portable numpy archive: hyper-parameters and
+vocabulary as JSON, weight matrices as arrays. No pickle — the file
+format is inspectable and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.embedding.autoencoder import LSTMAutoencoderEmbedder
+from repro.embedding.bow import BagOfTokensEmbedder
+from repro.embedding.doc2vec import Doc2VecEmbedder
+from repro.embedding.lstm import LSTMLayer
+from repro.embedding.vocab import Vocabulary
+from repro.errors import EmbeddingError
+
+_FORMAT_VERSION = 1
+
+
+def save_embedder(embedder, path: str | Path) -> Path:
+    """Serialize a fitted embedder to ``path`` (``.npz`` appended if absent)."""
+    if not getattr(embedder, "is_fitted", False):
+        raise EmbeddingError("only fitted embedders can be saved")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+
+    if isinstance(embedder, Doc2VecEmbedder):
+        kind, meta, arrays = _doc2vec_state(embedder)
+    elif isinstance(embedder, LSTMAutoencoderEmbedder):
+        kind, meta, arrays = _autoencoder_state(embedder)
+    elif isinstance(embedder, BagOfTokensEmbedder):
+        kind, meta, arrays = _bow_state(embedder)
+    else:
+        raise EmbeddingError(
+            f"cannot serialize embedder type {type(embedder).__name__}"
+        )
+
+    header = {"format": _FORMAT_VERSION, "kind": kind, "meta": meta}
+    arrays["__header__"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+    return path
+
+
+def load_embedder(path: str | Path):
+    """Load an embedder saved with :func:`save_embedder`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            header = json.loads(bytes(archive["__header__"]).decode("utf-8"))
+        except KeyError:
+            raise EmbeddingError(f"{path} is not an embedder archive") from None
+        if header.get("format") != _FORMAT_VERSION:
+            raise EmbeddingError(
+                f"unsupported embedder archive version {header.get('format')}"
+            )
+        arrays = {k: archive[k] for k in archive.files if k != "__header__"}
+
+    kind = header["kind"]
+    meta = header["meta"]
+    if kind == "doc2vec":
+        return _doc2vec_restore(meta, arrays)
+    if kind == "lstm_autoencoder":
+        return _autoencoder_restore(meta, arrays)
+    if kind == "bag_of_tokens":
+        return _bow_restore(meta, arrays)
+    raise EmbeddingError(f"unknown embedder kind {kind!r}")
+
+
+# -- Doc2Vec -------------------------------------------------------------------
+
+
+def _doc2vec_state(embedder: Doc2VecEmbedder):
+    meta = {
+        "dimension": embedder.dimension,
+        "variant": embedder.variant,
+        "window": embedder.window,
+        "negative": embedder.negative,
+        "epochs": embedder.epochs,
+        "learning_rate": embedder.learning_rate,
+        "min_count": embedder.min_count,
+        "max_vocab": embedder.max_vocab,
+        "subsample": embedder.subsample,
+        "infer_epochs": embedder.infer_epochs,
+        "seed": embedder._seed,
+        "vocab": embedder._vocab.state(),
+    }
+    arrays = {
+        "word_in": embedder._word_in,
+        "word_out": embedder._word_out,
+    }
+    return "doc2vec", meta, arrays
+
+
+def _doc2vec_restore(meta: dict, arrays: dict) -> Doc2VecEmbedder:
+    vocab_state = meta.pop("vocab")
+    seed = meta.pop("seed")
+    embedder = Doc2VecEmbedder(seed=seed, **meta)
+    embedder._vocab = Vocabulary.from_state(vocab_state)
+    embedder._word_in = arrays["word_in"]
+    embedder._word_out = arrays["word_out"]
+    embedder._neg_cumprobs = np.cumsum(
+        embedder._vocab.negative_sampling_table()
+    )
+    embedder._fitted = True
+    return embedder
+
+
+# -- LSTM autoencoder --------------------------------------------------------------
+
+
+def _autoencoder_state(embedder: LSTMAutoencoderEmbedder):
+    meta = {
+        "dimension": embedder.dimension,
+        "embed_size": embedder.embed_size,
+        "max_len": embedder.max_len,
+        "epochs": embedder.epochs,
+        "batch_size": embedder.batch_size,
+        "learning_rate": embedder.learning_rate,
+        "min_count": embedder.min_count,
+        "max_vocab": embedder.max_vocab,
+        "grad_clip": embedder.grad_clip,
+        "tie_projection": embedder.tie_projection,
+        "seed": embedder._seed,
+        "vocab": embedder._vocab.state(),
+        "loss_history": embedder.loss_history,
+    }
+    arrays = {f"param_{k}": v for k, v in embedder._params.items()}
+    return "lstm_autoencoder", meta, arrays
+
+
+def _autoencoder_restore(meta: dict, arrays: dict) -> LSTMAutoencoderEmbedder:
+    vocab_state = meta.pop("vocab")
+    loss_history = meta.pop("loss_history")
+    seed = meta.pop("seed")
+    embedder = LSTMAutoencoderEmbedder(seed=seed, **meta)
+    embedder._vocab = Vocabulary.from_state(vocab_state)
+    embedder._params = {
+        k[len("param_"):]: v for k, v in arrays.items() if k.startswith("param_")
+    }
+    embedder._encoder = LSTMLayer(embedder.embed_size, embedder.dimension, "enc")
+    embedder._decoder = LSTMLayer(embedder.embed_size, embedder.dimension, "dec")
+    embedder.loss_history = list(loss_history)
+    embedder._fitted = True
+    return embedder
+
+
+# -- bag of tokens -----------------------------------------------------------------
+
+
+def _bow_state(embedder: BagOfTokensEmbedder):
+    meta = {
+        "dimension": embedder.dimension,
+        "min_count": embedder.min_count,
+        "max_vocab": embedder.max_vocab,
+        "use_idf": embedder.use_idf,
+        "seed": embedder._seed,
+        "vocab": embedder._vocab.state(),
+    }
+    arrays = {
+        "idf": embedder._idf,
+        "components": embedder._components,
+    }
+    return "bag_of_tokens", meta, arrays
+
+
+def _bow_restore(meta: dict, arrays: dict) -> BagOfTokensEmbedder:
+    vocab_state = meta.pop("vocab")
+    seed = meta.pop("seed")
+    embedder = BagOfTokensEmbedder(seed=seed, **meta)
+    embedder._vocab = Vocabulary.from_state(vocab_state)
+    embedder._idf = arrays["idf"]
+    embedder._components = arrays["components"]
+    embedder._fitted = True
+    return embedder

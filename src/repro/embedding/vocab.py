@@ -1,0 +1,157 @@
+"""Token vocabulary with the word2vec training utilities.
+
+Shared by both embedder families: frequency counting, rare-token
+trimming, frequent-token subsampling probabilities, and the smoothed
+unigram table used for negative sampling.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+
+PAD = "<PAD>"
+UNK = "<UNK>"
+BOS = "<BOS>"
+EOS = "<EOS>"
+RESERVED = (PAD, UNK, BOS, EOS)
+
+
+class Vocabulary:
+    """Token ↔ id mapping built from a tokenized corpus.
+
+    Ids 0..3 are reserved for PAD/UNK/BOS/EOS so sequence models can
+    rely on fixed special ids. Construction is deterministic: tokens are
+    ranked by (count desc, token asc).
+    """
+
+    def __init__(
+        self,
+        corpus: Iterable[Sequence[str]],
+        min_count: int = 1,
+        max_size: int | None = None,
+    ) -> None:
+        if min_count < 1:
+            raise EmbeddingError("min_count must be >= 1")
+        counts: Counter[str] = Counter()
+        total_docs = 0
+        for tokens in corpus:
+            counts.update(tokens)
+            total_docs += 1
+        if total_docs == 0:
+            raise EmbeddingError("cannot build a vocabulary from an empty corpus")
+
+        kept = [(tok, c) for tok, c in counts.items() if c >= min_count]
+        kept.sort(key=lambda kv: (-kv[1], kv[0]))
+        budget = None if max_size is None else max(0, max_size - len(RESERVED))
+        if budget is not None:
+            kept = kept[:budget]
+
+        self._id_to_token: list[str] = list(RESERVED) + [tok for tok, _ in kept]
+        self._token_to_id: dict[str, int] = {
+            tok: i for i, tok in enumerate(self._id_to_token)
+        }
+        self._counts = np.zeros(len(self._id_to_token), dtype=np.int64)
+        for tok, c in kept:
+            self._counts[self._token_to_id[tok]] = c
+        self.total_tokens = int(self._counts.sum())
+        self.total_documents = total_docs
+
+    # -- persistence -----------------------------------------------------------
+
+    def state(self) -> dict:
+        """Serializable state (tokens + counts), for model persistence."""
+        return {
+            "tokens": self._id_to_token[len(RESERVED):],
+            "counts": self._counts[len(RESERVED):].tolist(),
+            "total_documents": self.total_documents,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Vocabulary":
+        """Rebuild a vocabulary saved with :meth:`state`."""
+        vocab = cls.__new__(cls)
+        tokens = list(state["tokens"])
+        counts = list(state["counts"])
+        if len(tokens) != len(counts):
+            raise EmbeddingError("corrupt vocabulary state")
+        vocab._id_to_token = list(RESERVED) + tokens
+        vocab._token_to_id = {t: i for i, t in enumerate(vocab._id_to_token)}
+        vocab._counts = np.zeros(len(vocab._id_to_token), dtype=np.int64)
+        vocab._counts[len(RESERVED):] = np.asarray(counts, dtype=np.int64)
+        vocab.total_tokens = int(vocab._counts.sum())
+        vocab.total_documents = int(state["total_documents"])
+        return vocab
+
+    # -- basic mapping -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        return 1
+
+    @property
+    def bos_id(self) -> int:
+        return 2
+
+    @property
+    def eos_id(self) -> int:
+        return 3
+
+    def id_of(self, token: str) -> int:
+        """Return the id of ``token``, or the UNK id when unknown."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def token_of(self, token_id: int) -> str:
+        return self._id_to_token[token_id]
+
+    def encode(self, tokens: Sequence[str]) -> np.ndarray:
+        """Map a token sequence to an int64 id array (UNK for OOV)."""
+        return np.fromiter(
+            (self._token_to_id.get(t, self.unk_id) for t in tokens),
+            dtype=np.int64,
+            count=len(tokens),
+        )
+
+    def count_of(self, token_id: int) -> int:
+        return int(self._counts[token_id])
+
+    # -- word2vec machinery ---------------------------------------------------
+
+    def subsample_keep_probabilities(self, threshold: float = 1e-3) -> np.ndarray:
+        """Mikolov-style keep probability per token id.
+
+        Frequent tokens (SQL keywords, punctuation) are downsampled so
+        training focuses on informative schema vocabulary.
+        """
+        freq = self._counts / max(1, self.total_tokens)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            keep = np.sqrt(threshold / freq) + threshold / freq
+        keep[~np.isfinite(keep)] = 1.0
+        return np.clip(keep, 0.0, 1.0)
+
+    def negative_sampling_table(self, power: float = 0.75) -> np.ndarray:
+        """Probability distribution over ids for negative sampling.
+
+        Uses the conventional ``count ** 0.75`` smoothing; reserved ids
+        get zero probability.
+        """
+        weights = self._counts.astype(np.float64) ** power
+        weights[: len(RESERVED)] = 0.0
+        total = weights.sum()
+        if total <= 0:
+            raise EmbeddingError("vocabulary has no sampleable tokens")
+        return weights / total

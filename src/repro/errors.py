@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+Subsystems have their own subclasses to keep ``except`` clauses narrow.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SQLError(ReproError):
+    """Base class for errors in the SQL substrate."""
+
+
+class LexerError(SQLError):
+    """Raised when the tokenizer encounters malformed input.
+
+    Carries the character position to aid debugging of workload logs.
+    """
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class ParseError(SQLError):
+    """Raised when the parser cannot build an AST from a token stream."""
+
+    def __init__(self, message: str, token_index: int = -1) -> None:
+        super().__init__(message)
+        self.token_index = token_index
+
+
+class CatalogError(ReproError):
+    """Raised for unknown tables/columns or inconsistent schema metadata."""
+
+
+class ExecutionError(ReproError):
+    """Raised when the minidb engine cannot execute a (valid) plan."""
+
+
+class PlanningError(ReproError):
+    """Raised when no physical plan can be produced for a query."""
+
+
+class EmbeddingError(ReproError):
+    """Raised for misuse of embedder models (e.g. transform before fit)."""
+
+
+class NotFittedError(EmbeddingError):
+    """Raised when ``transform``/``predict`` is called before ``fit``."""
+
+
+class LabelingError(ReproError):
+    """Raised for misuse of labelers or malformed label sets."""
+
+
+class WorkloadError(ReproError):
+    """Raised by workload generators for invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """Raised by the Querc service layer (unknown application, etc.)."""
+
+
+class AdvisorError(ReproError):
+    """Raised by the index advisor (invalid budget, unknown workload)."""

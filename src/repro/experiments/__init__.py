@@ -1,0 +1,19 @@
+"""Experiment harness: one module per table/figure in the paper.
+
+* :mod:`~repro.experiments.figure3` — workload runtime vs. advisor time
+  budget, five series.
+* :mod:`~repro.experiments.figure4` — per-query runtime, no-index vs.
+  3-minute-budget indexes (the Q18 regression).
+* :mod:`~repro.experiments.table1` — account/user labeling accuracy for
+  Doc2Vec vs. the LSTM autoencoder.
+* :mod:`~repro.experiments.table2` — per-account user-labeling accuracy.
+
+Each module exposes ``run(scale) -> result`` and a ``render`` helper
+that prints the same rows/series the paper reports, alongside the
+paper's numbers for comparison.
+"""
+
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments import figure3, figure4, table1, table2
+
+__all__ = ["ExperimentScale", "get_scale", "figure3", "figure4", "table1", "table2"]

@@ -1,0 +1,94 @@
+"""Experiment scale presets and cost-to-seconds calibration.
+
+Two presets: ``quick`` (CI-sized, the default for tests and benches)
+and ``full`` (paper-sized shapes; minutes of compute). Select with the
+``REPRO_SCALE`` environment variable or pass a name explicitly.
+
+``seconds_per_cost_unit`` converts minidb cost units into the seconds
+reported by Figures 3/4; it is chosen so the unindexed full TPC-H
+workload lands near the paper's 1200 s plateau.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All knobs that trade fidelity for speed."""
+
+    name: str
+    # figure 3 / 4 (index selection)
+    tpch_instances_per_template: int
+    tpch_exec_scale: float
+    tpch_virtual_scale: float
+    budgets_minutes: tuple[float, ...]
+    summarizer_k_range: tuple[int, int]
+    # table 1 / 2 (labeling)
+    snowsim_pretrain_queries: int
+    snowsim_labeled_queries: int
+    cv_folds: int
+    forest_trees: int
+    embedding_dim: int
+    d2v_epochs: int
+    lstm_epochs: int
+    # shared
+    seed: int = 42
+
+    @property
+    def tpch_workload_size(self) -> int:
+        return self.tpch_instances_per_template * 22
+
+
+QUICK = ExperimentScale(
+    name="quick",
+    tpch_instances_per_template=5,
+    tpch_exec_scale=0.01,
+    tpch_virtual_scale=1.0,
+    budgets_minutes=(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0),
+    summarizer_k_range=(12, 24),
+    snowsim_pretrain_queries=5000,
+    snowsim_labeled_queries=5000,
+    cv_folds=10,
+    forest_trees=12,
+    embedding_dim=32,
+    d2v_epochs=8,
+    lstm_epochs=6,
+)
+
+FULL = ExperimentScale(
+    name="full",
+    tpch_instances_per_template=38,
+    tpch_exec_scale=0.02,
+    tpch_virtual_scale=1.0,
+    budgets_minutes=(1.0, 2.0, 3.0, 3.5, 4.0, 4.5, 5.0, 6.0, 7.0, 8.0, 10.0),
+    summarizer_k_range=(12, 40),
+    snowsim_pretrain_queries=20000,
+    snowsim_labeled_queries=12000,
+    cv_folds=10,
+    forest_trees=24,
+    embedding_dim=64,
+    d2v_epochs=12,
+    lstm_epochs=10,
+)
+
+_PRESETS = {"quick": QUICK, "full": FULL}
+
+# calibration: unindexed full TPC-H (836 instances, virtual SF1) costs
+# ~12.3e9 units and should sit near the paper's 1200-second plateau
+SECONDS_PER_COST_UNIT = 1200.0 / 12_270_000_000.0
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve a preset by name, argument over environment over default."""
+    chosen = name or os.environ.get("REPRO_SCALE", "quick")
+    try:
+        return _PRESETS[chosen]
+    except KeyError:
+        raise ReproError(
+            f"unknown scale {chosen!r}; expected one of {sorted(_PRESETS)}"
+        ) from None

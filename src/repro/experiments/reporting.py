@@ -1,0 +1,67 @@
+"""Rendering helpers: ASCII tables and series, paper-vs-measured."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Simple fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str, x_label: str, xs: list, series: dict[str, list]
+) -> str:
+    """Render aligned multi-series data (one row per x)."""
+    headers = [x_label] + list(series)
+    rows = [[x] + [series[name][i] for name in series] for i, x in enumerate(xs)]
+    return render_table(headers, rows, title=title)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+@dataclass
+class PaperComparison:
+    """Paper-vs-measured record for EXPERIMENTS.md."""
+
+    experiment: str
+    claims: list[tuple[str, str, str, bool]] = field(default_factory=list)
+
+    def add(self, claim: str, paper: str, measured: str, holds: bool) -> None:
+        self.claims.append((claim, paper, measured, holds))
+
+    def render(self) -> str:
+        rows = [
+            [claim, paper, measured, "yes" if holds else "NO"]
+            for claim, paper, measured, holds in self.claims
+        ]
+        return render_table(
+            ["claim", "paper", "measured", "holds"],
+            rows,
+            title=f"== {self.experiment}: paper vs measured ==",
+        )
+
+    @property
+    def all_hold(self) -> bool:
+        return all(h for _, _, _, h in self.claims)

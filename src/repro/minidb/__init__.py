@@ -1,0 +1,36 @@
+"""A small cost-based relational engine (the SQL Server 2016 substitute).
+
+The Figure 3/4 experiments need three behaviours from the paper's
+database substrate, all reproduced here:
+
+1. a what-if optimizer whose *estimated* costs drive index tuning;
+2. an anytime index advisor whose recommendation quality improves with
+   its time budget (and whose cost grows with workload size);
+3. a cardinality-misestimation pathology that makes the optimizer pick
+   a genuinely bad plan for TPC-H Q18 given a narrow low-budget index.
+
+Queries actually execute (vectorized over numpy column storage), and
+"runtime" is the cost model re-applied to the *true* row counts
+observed during execution, scaled to a virtual scale factor — so the
+harness is deterministic and hardware-independent while the mechanisms
+stay real.
+"""
+
+from repro.minidb.catalog import Catalog, ColumnMeta, TableMeta
+from repro.minidb.engine import Database, QueryResult
+from repro.minidb.indexes import Index, IndexConfig
+from repro.minidb.advisor import IndexAdvisor, AdvisorReport
+from repro.minidb.datagen import generate_tpch_database
+
+__all__ = [
+    "Catalog",
+    "ColumnMeta",
+    "TableMeta",
+    "Database",
+    "QueryResult",
+    "Index",
+    "IndexConfig",
+    "IndexAdvisor",
+    "AdvisorReport",
+    "generate_tpch_database",
+]

@@ -1,0 +1,394 @@
+"""TPC-H-like data generator.
+
+Materializes the eight TPC-H tables at a small executable scale while
+the catalog reports statistics as if the database were a (much) larger
+virtual scale — the standard simulator trick of running a scaled-down
+trace with scaled-up accounting. Distributions follow the TPC-H spec's
+shapes where they matter to the experiments:
+
+* ~10 customers per order region of keyspace, 1–7 lineitems per order;
+* order dates uniform over 1992-01-01 .. 1998-08-02, ship/commit/
+  receipt dates offset like the spec;
+* ``l_quantity`` uniform 1..50, so ``sum(l_quantity) > T`` (Q18) has a
+  tuneable tail — the knob the Figure 4 pathology depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.minidb.catalog import Catalog
+from repro.minidb.engine import Database
+from repro.minidb.optimizer import CostModel
+from repro.minidb.storage import Table, date_to_days
+
+NATIONS = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+]
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATION_REGION = [0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+SHIP_INSTRUCT = ["COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"]
+CONTAINERS = [
+    "JUMBO BAG", "JUMBO BOX", "LG CASE", "LG PACK", "MED BAG", "MED BOX",
+    "SM BOX", "SM CASE", "SM PACK", "WRAP CASE",
+]
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+BRAND_IDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+PART_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cream", "cyan", "dark",
+    "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest", "frosted",
+    "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot",
+    "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light",
+]
+COMMENT_WORDS = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "express",
+    "regular", "special", "pending", "requests", "deposits", "accounts",
+    "packages", "instructions", "theodolites", "platelets", "foxes", "ideas",
+]
+
+# TPC-H scale-factor-1 base cardinalities
+SF1_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    # lineitem derives from orders (1-7 each, mean 4)
+}
+
+START_DATE = date_to_days("1992-01-01")
+END_DATE = date_to_days("1998-08-02")
+
+
+def generate_tpch_database(
+    exec_scale: float = 0.01,
+    virtual_scale: float = 1.0,
+    seed: int = 42,
+    cost_model: CostModel | None = None,
+) -> Database:
+    """Build a loaded :class:`Database`.
+
+    ``exec_scale`` controls materialized sizes (execution time);
+    ``virtual_scale`` controls the row counts the cost model sees.
+    """
+    if exec_scale <= 0 or virtual_scale <= 0:
+        raise WorkloadError("scales must be positive")
+    rng = np.random.default_rng(seed)
+    catalog = Catalog(virtual_row_multiplier=virtual_scale / exec_scale)
+    db = Database(catalog=catalog, cost_model=cost_model)
+
+    def rows(table: str) -> int:
+        if table in ("region", "nation"):
+            return SF1_ROWS[table]
+        return max(5, int(SF1_ROWS[table] * exec_scale))
+
+    db.load_table(_region())
+    db.load_table(_nation())
+    db.load_table(_supplier(rows("supplier"), rng))
+    db.load_table(_customer(rows("customer"), rng))
+    db.load_table(_part(rows("part"), rng))
+    db.load_table(_partsupp(rows("part"), rows("supplier"), rng))
+    orders = _orders(rows("orders"), rows("customer"), rng)
+    db.load_table(orders)
+    db.load_table(
+        _lineitem(orders, rows("part"), rows("supplier"), rng)
+    )
+    return db
+
+
+def _comments(n: int, rng: np.random.Generator) -> np.ndarray:
+    words = rng.choice(COMMENT_WORDS, size=(n, 3))
+    return np.asarray([" ".join(row) for row in words], dtype=np.str_)
+
+
+def _region() -> Table:
+    n = len(REGIONS)
+    return Table(
+        name="region",
+        dtypes={"r_regionkey": "int", "r_name": "str", "r_comment": "str"},
+        columns={
+            "r_regionkey": np.arange(n, dtype=np.int64),
+            "r_name": np.asarray(REGIONS, dtype=np.str_),
+            "r_comment": np.asarray(["region " + r.lower() for r in REGIONS], dtype=np.str_),
+        },
+    )
+
+
+def _nation() -> Table:
+    n = len(NATIONS)
+    return Table(
+        name="nation",
+        dtypes={
+            "n_nationkey": "int",
+            "n_name": "str",
+            "n_regionkey": "int",
+            "n_comment": "str",
+        },
+        columns={
+            "n_nationkey": np.arange(n, dtype=np.int64),
+            "n_name": np.asarray(NATIONS, dtype=np.str_),
+            "n_regionkey": np.asarray(NATION_REGION, dtype=np.int64),
+            "n_comment": np.asarray(["nation " + x.lower() for x in NATIONS], dtype=np.str_),
+        },
+    )
+
+
+def _supplier(n: int, rng: np.random.Generator) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    return Table(
+        name="supplier",
+        dtypes={
+            "s_suppkey": "int",
+            "s_name": "str",
+            "s_address": "str",
+            "s_nationkey": "int",
+            "s_phone": "str",
+            "s_acctbal": "float",
+            "s_comment": "str",
+        },
+        columns={
+            "s_suppkey": keys,
+            "s_name": np.asarray([f"Supplier#{k:09d}" for k in keys], dtype=np.str_),
+            "s_address": np.asarray([f"addr sup {k}" for k in keys], dtype=np.str_),
+            "s_nationkey": rng.integers(0, len(NATIONS), n),
+            "s_phone": _phones(rng.integers(0, len(NATIONS), n)),
+            "s_acctbal": np.round(rng.uniform(-999.99, 9999.99, n), 2),
+            "s_comment": _supplier_comments(n, rng),
+        },
+    )
+
+
+def _supplier_comments(n: int, rng: np.random.Generator) -> np.ndarray:
+    comments = _comments(n, rng)
+    # the spec plants 'Customer...Complaints' in a small fraction (Q16)
+    flagged = rng.random(n) < 0.01
+    comments[flagged] = "wait Customer slow Complaints silent"
+    return comments
+
+
+def _phones(nation_keys: np.ndarray) -> np.ndarray:
+    return np.asarray(
+        [f"{10 + int(k)}-{(int(k) * 7919) % 900 + 100:03d}-555" for k in nation_keys],
+        dtype=np.str_,
+    )
+
+
+def _customer(n: int, rng: np.random.Generator) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    nations = rng.integers(0, len(NATIONS), n)
+    return Table(
+        name="customer",
+        dtypes={
+            "c_custkey": "int",
+            "c_name": "str",
+            "c_address": "str",
+            "c_nationkey": "int",
+            "c_phone": "str",
+            "c_acctbal": "float",
+            "c_mktsegment": "str",
+            "c_comment": "str",
+        },
+        columns={
+            "c_custkey": keys,
+            "c_name": np.asarray([f"Customer#{k:09d}" for k in keys], dtype=np.str_),
+            "c_address": np.asarray([f"addr cust {k}" for k in keys], dtype=np.str_),
+            "c_nationkey": nations,
+            "c_phone": _phones(nations),
+            "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, n), 2),
+            "c_mktsegment": rng.choice(SEGMENTS, n).astype(np.str_),
+            "c_comment": _comments(n, rng),
+        },
+    )
+
+
+def _part(n: int, rng: np.random.Generator) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    types = np.asarray(
+        [
+            f"{rng.choice(TYPE_SYLLABLE_1)} {rng.choice(TYPE_SYLLABLE_2)} "
+            f"{rng.choice(TYPE_SYLLABLE_3)}"
+            for _ in range(n)
+        ],
+        dtype=np.str_,
+    )
+    names = np.asarray(
+        [" ".join(rng.choice(PART_NAME_WORDS, 3)) for _ in range(n)], dtype=np.str_
+    )
+    return Table(
+        name="part",
+        dtypes={
+            "p_partkey": "int",
+            "p_name": "str",
+            "p_mfgr": "str",
+            "p_brand": "str",
+            "p_type": "str",
+            "p_size": "int",
+            "p_container": "str",
+            "p_retailprice": "float",
+            "p_comment": "str",
+        },
+        columns={
+            "p_partkey": keys,
+            "p_name": names,
+            "p_mfgr": rng.choice([f"Manufacturer#{i}" for i in range(1, 6)], n).astype(np.str_),
+            "p_brand": rng.choice(BRAND_IDS, n).astype(np.str_),
+            "p_type": types,
+            "p_size": rng.integers(1, 51, n),
+            "p_container": rng.choice(CONTAINERS, n).astype(np.str_),
+            "p_retailprice": np.round(900 + keys % 1000 + 0.01 * (keys % 100), 2),
+            "p_comment": _comments(n, rng),
+        },
+    )
+
+
+def _partsupp(n_parts: int, n_suppliers: int, rng: np.random.Generator) -> Table:
+    # 4 suppliers per part, as in the spec
+    part_keys = np.repeat(np.arange(1, n_parts + 1, dtype=np.int64), 4)
+    supp_keys = (
+        (part_keys * 7 + np.tile(np.arange(4), n_parts) * (n_suppliers // 4 + 1))
+        % n_suppliers
+    ) + 1
+    n = len(part_keys)
+    return Table(
+        name="partsupp",
+        dtypes={
+            "ps_partkey": "int",
+            "ps_suppkey": "int",
+            "ps_availqty": "int",
+            "ps_supplycost": "float",
+            "ps_comment": "str",
+        },
+        columns={
+            "ps_partkey": part_keys,
+            "ps_suppkey": supp_keys,
+            "ps_availqty": rng.integers(1, 10_000, n),
+            "ps_supplycost": np.round(rng.uniform(1.0, 1000.0, n), 2),
+            "ps_comment": _comments(n, rng),
+        },
+    )
+
+
+def _orders(n: int, n_customers: int, rng: np.random.Generator) -> Table:
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    dates = rng.integers(START_DATE, END_DATE - 121, n).astype(np.int32)
+    # spec: o_custkey is never a multiple of 3, so a third of customers
+    # place no orders (Q13's zero bucket, Q22's target population)
+    custkeys = rng.integers(1, n_customers + 1, n)
+    custkeys = np.where(custkeys % 3 == 0, custkeys + 1, custkeys)
+    custkeys = np.where(custkeys > n_customers, 1, custkeys)
+    return Table(
+        name="orders",
+        dtypes={
+            "o_orderkey": "int",
+            "o_custkey": "int",
+            "o_orderstatus": "str",
+            "o_totalprice": "float",
+            "o_orderdate": "date",
+            "o_orderpriority": "str",
+            "o_clerk": "str",
+            "o_shippriority": "int",
+            "o_comment": "str",
+        },
+        columns={
+            "o_orderkey": keys,
+            "o_custkey": custkeys,
+            "o_orderstatus": rng.choice(["F", "O", "P"], n, p=[0.49, 0.49, 0.02]).astype(np.str_),
+            "o_totalprice": np.round(rng.uniform(850.0, 555_000.0, n), 2),
+            "o_orderdate": dates,
+            "o_orderpriority": rng.choice(PRIORITIES, n).astype(np.str_),
+            "o_clerk": np.asarray(
+                [f"Clerk#{int(k) % 1000:09d}" for k in keys], dtype=np.str_
+            ),
+            "o_shippriority": np.zeros(n, dtype=np.int64),
+            "o_comment": _order_comments(n, rng),
+        },
+    )
+
+
+def _order_comments(n: int, rng: np.random.Generator) -> np.ndarray:
+    comments = _comments(n, rng)
+    # Q13 excludes orders whose comment matches '%special%requests%'
+    flagged = rng.random(n) < 0.02
+    comments[flagged] = "handle special care requests now"
+    return comments
+
+
+def _lineitem(
+    orders: Table, n_parts: int, n_suppliers: int, rng: np.random.Generator
+) -> Table:
+    order_keys = orders.column("o_orderkey")
+    order_dates = orders.column("o_orderdate")
+    per_order = rng.integers(1, 8, len(order_keys))
+    l_orderkey = np.repeat(order_keys, per_order)
+    base_dates = np.repeat(order_dates, per_order).astype(np.int64)
+    n = len(l_orderkey)
+
+    linenumber = np.concatenate([np.arange(1, c + 1) for c in per_order])
+    quantity = rng.integers(1, 51, n).astype(np.float64)
+    extendedprice = np.round(quantity * rng.uniform(900.0, 2000.0, n), 2)
+    shipdate = base_dates + rng.integers(1, 122, n)
+    commitdate = base_dates + rng.integers(30, 91, n)
+    receiptdate = shipdate + rng.integers(1, 31, n)
+
+    # returnflag per the spec: R/A only for lines shipped by 1995-06-17
+    cutoff = date_to_days("1995-06-17")
+    returnflag = np.where(
+        shipdate <= cutoff,
+        rng.choice(["R", "A"], n),
+        "N",
+    ).astype(np.str_)
+    linestatus = np.where(shipdate > cutoff, "O", "F").astype(np.str_)
+
+    return Table(
+        name="lineitem",
+        dtypes={
+            "l_orderkey": "int",
+            "l_partkey": "int",
+            "l_suppkey": "int",
+            "l_linenumber": "int",
+            "l_quantity": "float",
+            "l_extendedprice": "float",
+            "l_discount": "float",
+            "l_tax": "float",
+            "l_returnflag": "str",
+            "l_linestatus": "str",
+            "l_shipdate": "date",
+            "l_commitdate": "date",
+            "l_receiptdate": "date",
+            "l_shipinstruct": "str",
+            "l_shipmode": "str",
+            "l_comment": "str",
+        },
+        columns={
+            "l_orderkey": l_orderkey,
+            "l_partkey": rng.integers(1, n_parts + 1, n),
+            "l_suppkey": rng.integers(1, n_suppliers + 1, n),
+            "l_linenumber": linenumber,
+            "l_quantity": quantity,
+            "l_extendedprice": extendedprice,
+            "l_discount": np.round(rng.uniform(0.0, 0.10, n), 2),
+            "l_tax": np.round(rng.uniform(0.0, 0.08, n), 2),
+            "l_returnflag": returnflag,
+            "l_linestatus": linestatus,
+            "l_shipdate": shipdate.astype(np.int32),
+            "l_commitdate": commitdate.astype(np.int32),
+            "l_receiptdate": receiptdate.astype(np.int32),
+            "l_shipinstruct": rng.choice(SHIP_INSTRUCT, n).astype(np.str_),
+            "l_shipmode": rng.choice(SHIP_MODES, n).astype(np.str_),
+            "l_comment": _comments(n, rng),
+        },
+    )

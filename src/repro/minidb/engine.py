@@ -1,0 +1,118 @@
+"""Database facade: parse → plan → execute with cost accounting.
+
+``execute`` returns both the result rows and the two cost numbers the
+experiments compare: the optimizer's estimate and the executor's
+true-count cost. The harness converts cost units to seconds with a
+single calibration constant (see ``repro.experiments.config``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.minidb.catalog import Catalog
+from repro.minidb.executor import ExecutionStats, Executor
+from repro.minidb.indexes import IndexConfig
+from repro.minidb.optimizer import CostModel
+from repro.minidb.planner import Planner, PlanNode
+from repro.minidb.storage import Table, days_to_date
+from repro.sql.parser import parse_select
+
+
+@dataclass
+class QueryResult:
+    """Result of one executed query."""
+
+    columns: list[str]
+    rows: list[tuple]
+    est_cost: float
+    actual_cost: float
+    est_rows: float
+    n_rows: int
+    plan: PlanNode
+    stats: ExecutionStats = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class Database:
+    """Materialized tables + catalog + optimizer/executor stack."""
+
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.catalog = catalog or Catalog()
+        self.cost_model = cost_model or CostModel()
+        self._tables: dict[str, Table] = {}
+
+    # -- data loading -------------------------------------------------------------
+
+    def load_table(self, table: Table) -> None:
+        """Register a materialized table and compute its statistics."""
+        self._tables[table.name] = table
+        self.catalog.add_table(table.metadata())
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ExecutionError(f"table {name} is not loaded") from None
+
+    @property
+    def tables(self) -> dict[str, Table]:
+        return dict(self._tables)
+
+    # -- planning and execution -------------------------------------------------------
+
+    def plan(self, sql: str, config: IndexConfig | None = None) -> PlanNode:
+        """What-if planning: produce the plan the optimizer would choose
+        under ``config`` without executing anything."""
+        stmt = parse_select(sql)
+        planner = Planner(self.catalog, config, self.cost_model)
+        return planner.plan(stmt)
+
+    def estimate_cost(self, sql: str, config: IndexConfig | None = None) -> float:
+        """Optimizer-estimated cost of ``sql`` under ``config``."""
+        return self.plan(sql, config).est_cost
+
+    def execute(
+        self, sql: str, config: IndexConfig | None = None
+    ) -> QueryResult:
+        """Plan under ``config``, execute, and report both cost views."""
+        plan = self.plan(sql, config)
+        executor = Executor(self._tables, self.catalog, self.cost_model)
+        frame, stats = executor.run(plan)
+        columns = list(frame.columns)
+        rows = _frame_rows(frame)
+        return QueryResult(
+            columns=columns,
+            rows=rows,
+            est_cost=plan.est_cost,
+            actual_cost=stats.cost_units,
+            est_rows=plan.est_rows,
+            n_rows=frame.n_rows,
+            plan=plan,
+            stats=stats,
+        )
+
+    def explain(self, sql: str, config: IndexConfig | None = None) -> str:
+        """Human-readable plan description."""
+        return self.plan(sql, config).describe()
+
+
+def _frame_rows(frame) -> list[tuple]:
+    """Materialize a frame as python tuples (dates become date objects)."""
+    arrays = []
+    for key, values in frame.columns.items():
+        if frame.dtypes.get(key) == "date":
+            arrays.append([days_to_date(v) for v in values])
+        elif values.dtype.kind in ("U", "S"):
+            arrays.append([str(v) for v in values])
+        elif values.dtype.kind == "f":
+            arrays.append([float(v) for v in values])
+        else:
+            arrays.append([int(v) for v in values])
+    return list(zip(*arrays)) if arrays else []

@@ -1,0 +1,678 @@
+"""Plan execution over the column store, with true-cost accounting.
+
+Every operator really runs (vectorized numpy), and as it runs it
+re-applies the optimizer's :class:`CostModel` formulas to the *observed*
+row counts (scaled by the catalog's virtual row multiplier). The gap
+between a plan's ``est_cost`` and the executor's ``actual_cost`` is
+exactly the misestimation the Figure 4 experiment visualises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.minidb.catalog import Catalog
+from repro.minidb.expressions import Frame, evaluate
+from repro.minidb.optimizer import CostModel
+from repro.minidb import planner as P
+from repro.minidb.storage import Table
+from repro.sql import ast
+
+
+@dataclass
+class ExecutionStats:
+    """Side-band counters accumulated during execution."""
+
+    cost_units: float = 0.0
+    rows_scanned: int = 0
+    rows_output: int = 0
+
+
+class Executor:
+    """Executes a physical plan against materialized tables."""
+
+    def __init__(
+        self,
+        tables: dict[str, Table],
+        catalog: Catalog,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self._tables = tables
+        self._catalog = catalog
+        self._cost = cost_model or CostModel()
+        self._mult = catalog.virtual_row_multiplier
+
+    def run(self, plan: P.PlanNode) -> tuple[Frame, ExecutionStats]:
+        """Execute ``plan``; returns the result frame and cost counters."""
+        stats = ExecutionStats()
+        frame = self._exec(plan, stats)
+        stats.rows_output = frame.n_rows
+        return frame, stats
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _exec(self, node: P.PlanNode, stats: ExecutionStats) -> Frame:
+        handler = _HANDLERS.get(type(node))
+        if handler is None:
+            raise ExecutionError(f"no executor for node {type(node).__name__}")
+        return handler(self, node, stats)
+
+    # -- scans -------------------------------------------------------------------
+
+    def _exec_scan(self, node: P.ScanNode, stats: ExecutionStats) -> Frame:
+        table = self._tables[node.table]
+        n = table.n_rows
+        stats.rows_scanned += n
+        frame = Frame(n_rows=n)
+        for col in node.columns:
+            frame.columns[f"{node.binding}.{col}"] = table.column(col)
+            frame.dtypes[f"{node.binding}.{col}"] = table.dtypes[col]
+
+        virtual_n = n * self._mult
+        if node.index is not None and node.seek_predicate is not None:
+            seek_mask = evaluate(node.seek_predicate, frame).astype(bool)
+            matched = int(seek_mask.sum())
+            stats.cost_units += self._cost.index_seek(
+                matched * self._mult, node.covering
+            )
+            frame = frame.mask(seek_mask)
+            rest = [p for p in node.predicates if p is not node.seek_predicate]
+            if rest and frame.n_rows:
+                mask = np.ones(frame.n_rows, dtype=bool)
+                for pred in rest:
+                    mask &= evaluate(pred, frame).astype(bool)
+                stats.cost_units += (
+                    frame.n_rows * self._mult * self._cost.filter_eval * len(rest)
+                )
+                frame = frame.mask(mask)
+            elif rest:
+                stats.cost_units += 0.0
+            return frame
+
+        stats.cost_units += self._cost.scan(virtual_n, node.covering)
+        if node.predicates and n:
+            mask = np.ones(n, dtype=bool)
+            for pred in node.predicates:
+                mask &= evaluate(pred, frame).astype(bool)
+            stats.cost_units += virtual_n * self._cost.filter_eval * len(
+                node.predicates
+            )
+            frame = frame.mask(mask)
+        return frame
+
+    def _exec_derived(self, node: P.DerivedNode, stats: ExecutionStats) -> Frame:
+        child = self._exec(node.child, stats)
+        out = Frame(n_rows=child.n_rows)
+        for name in node.output_names:
+            out.columns[f"{node.alias}.{name}"] = child.columns[name]
+            out.dtypes[f"{node.alias}.{name}"] = child.dtypes.get(name, "float")
+            if name in child.valid:
+                out.valid[f"{node.alias}.{name}"] = child.valid[name]
+        return out
+
+    # -- filters -----------------------------------------------------------------
+
+    def _exec_filter(self, node: P.FilterNode, stats: ExecutionStats) -> Frame:
+        frame = self._exec(node.child, stats)
+        predicate = self._resolve_scalars(node.predicate, node.scalar_subplans, stats)
+        if frame.n_rows == 0:
+            return frame
+        mask = evaluate(predicate, frame).astype(bool)
+        stats.cost_units += frame.n_rows * self._mult * self._cost.filter_eval
+        return frame.mask(mask)
+
+    def _resolve_scalars(
+        self,
+        expr: ast.Expr,
+        subplans: dict[int, P.PlanNode],
+        stats: ExecutionStats,
+    ) -> ast.Expr:
+        """Replace uncorrelated scalar subqueries with literal results."""
+        if not subplans:
+            return expr
+
+        cache: dict[int, ast.Literal] = {}
+
+        def value_of(e: ast.ScalarSubquery) -> ast.Literal:
+            if id(e) not in cache:
+                plan = subplans[id(e)]
+                frame = self._exec(plan, stats)
+                names = getattr(plan, "output_names", list(frame.columns))
+                if frame.n_rows != 1 or not names:
+                    raise ExecutionError(
+                        "scalar subquery must produce exactly one row"
+                    )
+                value = frame.columns[names[0]][0]
+                kind = "string" if isinstance(value, str) else "number"
+                cache[id(e)] = ast.Literal(
+                    value if isinstance(value, str) else float(value), kind
+                )
+            return cache[id(e)]
+
+        def rewrite(e: ast.Expr) -> ast.Expr:
+            if isinstance(e, ast.ScalarSubquery):
+                return value_of(e)
+            if isinstance(e, ast.BinaryOp):
+                return ast.BinaryOp(e.op, rewrite(e.left), rewrite(e.right))
+            if isinstance(e, ast.UnaryOp):
+                return ast.UnaryOp(e.op, rewrite(e.operand))
+            if isinstance(e, ast.Between):
+                return ast.Between(
+                    rewrite(e.expr), rewrite(e.low), rewrite(e.high), e.negated
+                )
+            if isinstance(e, ast.FunctionCall):
+                return ast.FunctionCall(
+                    e.name, tuple(rewrite(a) for a in e.args), e.distinct, e.star
+                )
+            return e
+
+        return rewrite(expr)
+
+    def _exec_in_filter(
+        self, node: P.SubqueryInFilterNode, stats: ExecutionStats
+    ) -> Frame:
+        frame = self._exec(node.child, stats)
+        sub = self._exec(node.subplan, stats)
+        names = getattr(node.subplan, "output_names", list(sub.columns))
+        values = sub.columns[names[0]] if names else np.zeros(0)
+        if frame.n_rows == 0:
+            return frame
+        probe = evaluate(node.expr, frame)
+        mask = np.isin(probe, values)
+        if node.negated:
+            mask = ~mask
+        stats.cost_units += frame.n_rows * self._mult * self._cost.filter_eval
+        return frame.mask(mask)
+
+    # -- joins -------------------------------------------------------------------
+
+    def _exec_hash_join(self, node: P.HashJoinNode, stats: ExecutionStats) -> Frame:
+        left = self._exec(node.left, stats)
+        right = self._exec(node.right, stats)
+
+        if not node.left_keys:  # cross join
+            n_left, n_right = left.n_rows, right.n_rows
+            left_idx = np.repeat(np.arange(n_left), n_right)
+            right_idx = np.tile(np.arange(n_right), n_left)
+        else:
+            left_codes, right_codes = _composite_codes(
+                [evaluate(k, left) for k in node.left_keys],
+                [evaluate(k, right) for k in node.right_keys],
+            )
+            left_idx, right_idx = _equi_match(left_codes, right_codes)
+
+        out = _combine(left, right, left_idx, right_idx)
+        stats.cost_units += self._cost.hash_join(
+            min(left.n_rows, right.n_rows) * self._mult,
+            max(left.n_rows, right.n_rows) * self._mult,
+            len(left_idx) * self._mult,
+        )
+
+        if node.residual is not None and out.n_rows:
+            mask = evaluate(node.residual, out).astype(bool)
+            stats.cost_units += out.n_rows * self._mult * self._cost.filter_eval
+            out = out.mask(mask)
+            left_idx = left_idx[mask]
+
+        if node.join_type == "left":
+            matched = np.zeros(left.n_rows, dtype=bool)
+            matched[left_idx] = True
+            out = _append_unmatched(out, left, right, ~matched)
+        return out
+
+    def _exec_inl_join(self, node: P.IndexNLJoinNode, stats: ExecutionStats) -> Frame:
+        outer = self._exec(node.outer, stats)
+        table = self._tables[node.inner_table]
+        inner = Frame(n_rows=table.n_rows)
+        for col in node.inner_columns:
+            inner.columns[f"{node.inner_binding}.{col}"] = table.column(col)
+            inner.dtypes[f"{node.inner_binding}.{col}"] = table.dtypes[col]
+
+        outer_codes, inner_codes = _composite_codes(
+            [evaluate(k, outer) for k in node.outer_keys],
+            [evaluate(k, inner) for k in node.inner_keys],
+        )
+        outer_idx, inner_idx = _equi_match(outer_codes, inner_codes)
+        matched_pairs = len(outer_idx)
+
+        # each outer row pays a B-tree descent; each matched row pays a
+        # row fetch — random (expensive) unless the index covers
+        stats.cost_units += self._cost.inl_join(
+            outer.n_rows * self._mult, matched_pairs * self._mult, node.covering
+        )
+
+        out = _combine(outer, inner, outer_idx, inner_idx)
+        if node.inner_filters and out.n_rows:
+            mask = np.ones(out.n_rows, dtype=bool)
+            for pred in node.inner_filters:
+                mask &= evaluate(pred, out).astype(bool)
+            stats.cost_units += (
+                out.n_rows * self._mult * self._cost.filter_eval
+                * len(node.inner_filters)
+            )
+            out = out.mask(mask)
+        if node.residual is not None and out.n_rows:
+            mask = evaluate(node.residual, out).astype(bool)
+            stats.cost_units += out.n_rows * self._mult * self._cost.filter_eval
+            out = out.mask(mask)
+        return out
+
+    def _exec_semi_join(self, node: P.SemiJoinNode, stats: ExecutionStats) -> Frame:
+        child = self._exec(node.child, stats)
+        inner = self._exec(node.inner, stats)
+        stats.cost_units += (
+            child.n_rows * self._mult * self._cost.hash_probe
+            + inner.n_rows * self._mult * self._cost.hash_build
+        )
+        if child.n_rows == 0:
+            return child
+
+        child_codes, inner_codes = _composite_codes(
+            [evaluate(k, child) for k in node.outer_keys],
+            [inner.columns[k] for k in node.inner_keys],
+        )
+        if node.residual is None:
+            has_match = np.isin(child_codes, inner_codes)
+        else:
+            outer_idx, inner_idx = _equi_match(child_codes, inner_codes)
+            pair = child.take(outer_idx)
+            for out_name, key in node.inner_rename.items():
+                pair.columns[key] = inner.columns[out_name][inner_idx]
+                pair.dtypes[key] = inner.dtypes.get(out_name, "float")
+            ok = (
+                evaluate(node.residual, pair).astype(bool)
+                if pair.n_rows
+                else np.zeros(0, dtype=bool)
+            )
+            stats.cost_units += pair.n_rows * self._mult * self._cost.filter_eval
+            has_match = np.zeros(child.n_rows, dtype=bool)
+            np.logical_or.at(has_match, outer_idx[ok], True)
+        if node.negated:
+            has_match = ~has_match
+        return child.mask(has_match)
+
+    def _exec_agg_compare(self, node: P.AggCompareNode, stats: ExecutionStats) -> Frame:
+        child = self._exec(node.child, stats)
+        inner = self._exec(node.inner, stats)
+        stats.cost_units += child.n_rows * self._mult * self._cost.hash_probe
+        if child.n_rows == 0:
+            return child
+
+        child_codes, inner_codes = _composite_codes(
+            [evaluate(k, child) for k in node.outer_keys],
+            [inner.columns[k] for k in node.inner_key_names],
+        )
+        values = inner.columns[node.value_name]
+        order = np.argsort(inner_codes, kind="stable")
+        sorted_codes = inner_codes[order]
+        pos = np.searchsorted(sorted_codes, child_codes)
+        pos_clipped = np.minimum(pos, len(sorted_codes) - 1) if len(sorted_codes) else pos
+        found = (
+            (pos < len(sorted_codes)) & (sorted_codes[pos_clipped] == child_codes)
+            if len(sorted_codes)
+            else np.zeros(child.n_rows, dtype=bool)
+        )
+        mapped = np.zeros(child.n_rows, dtype=np.float64)
+        if len(sorted_codes):
+            mapped[found] = values[order][pos_clipped[found]]
+
+        outer_vals = evaluate(node.outer_expr, child)
+        ops = {
+            "=": np.equal,
+            "<>": np.not_equal,
+            "<": np.less,
+            ">": np.greater,
+            "<=": np.less_equal,
+            ">=": np.greater_equal,
+        }
+        mask = found & ops[node.op](outer_vals.astype(np.float64), mapped)
+        return child.mask(mask)
+
+    # -- aggregation -----------------------------------------------------------------
+
+    def _exec_aggregate(self, node: P.AggregateNode, stats: ExecutionStats) -> Frame:
+        frame = self._exec(node.child, stats)
+        stats.cost_units += self._cost.aggregate(frame.n_rows * self._mult)
+
+        group_arrays = [
+            (name, evaluate(expr, frame), _expr_dtype(expr, frame))
+            for name, expr in node.group_exprs
+        ]
+
+        if not group_arrays:
+            out = Frame(n_rows=1)
+            for spec in node.aggregates:
+                out.columns[spec.name] = np.asarray(
+                    [_global_aggregate(spec.call, frame)]
+                )
+                out.dtypes[spec.name] = "float"
+            return self._apply_having(node, out, stats)
+
+        if frame.n_rows == 0:
+            out = Frame(n_rows=0)
+            for name, values, dtype in group_arrays:
+                out.columns[name] = values
+                out.dtypes[name] = dtype
+            for spec in node.aggregates:
+                out.columns[spec.name] = np.zeros(0)
+                out.dtypes[spec.name] = "float"
+            return self._apply_having(node, out, stats)
+
+        codes = _group_codes([a for _, a, _ in group_arrays])
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        boundaries = np.empty(len(sorted_codes), dtype=bool)
+        boundaries[0] = True
+        boundaries[1:] = sorted_codes[1:] != sorted_codes[:-1]
+        starts = np.flatnonzero(boundaries)
+        group_of_sorted = np.cumsum(boundaries) - 1
+        n_groups = len(starts)
+        counts = np.diff(np.append(starts, len(sorted_codes)))
+
+        out = Frame(n_rows=n_groups)
+        first_of_group = order[starts]
+        for name, values, dtype in group_arrays:
+            out.columns[name] = values[first_of_group]
+            out.dtypes[name] = dtype
+
+        for spec in node.aggregates:
+            out.columns[spec.name] = _grouped_aggregate(
+                spec.call, frame, order, starts, counts, group_of_sorted
+            )
+            out.dtypes[spec.name] = "float"
+        return self._apply_having(node, out, stats)
+
+    def _apply_having(
+        self, node: P.AggregateNode, out: Frame, stats: ExecutionStats
+    ) -> Frame:
+        if node.having is None or out.n_rows == 0:
+            return out
+        having = self._resolve_scalars(node.having, node.scalar_subplans, stats)
+        mask = evaluate(having, out).astype(bool)
+        stats.cost_units += out.n_rows * self._mult * self._cost.filter_eval
+        return out.mask(mask)
+
+    # -- projection / ordering ----------------------------------------------------------
+
+    def _exec_project(self, node: P.ProjectNode, stats: ExecutionStats) -> Frame:
+        frame = self._exec(node.child, stats)
+        stats.cost_units += frame.n_rows * self._mult * self._cost.output_row
+        out = Frame(n_rows=frame.n_rows)
+        for name, expr in node.items:
+            values = evaluate(expr, frame)
+            if np.isscalar(values) or getattr(values, "ndim", 1) == 0:
+                values = np.full(frame.n_rows, values)
+            out.columns[name] = values
+            out.dtypes[name] = _expr_dtype(expr, frame)
+            if isinstance(expr, ast.Column):
+                key = frame.resolve(expr)
+                if key in frame.valid:
+                    out.valid[name] = frame.valid[key]
+        return out
+
+    def _exec_distinct(self, node: P.DistinctNode, stats: ExecutionStats) -> Frame:
+        frame = self._exec(node.child, stats)
+        stats.cost_units += self._cost.aggregate(frame.n_rows * self._mult)
+        if frame.n_rows == 0:
+            return frame
+        codes = _group_codes(list(frame.columns.values()))
+        _, first_idx = np.unique(codes, return_index=True)
+        return frame.take(np.sort(first_idx))
+
+    def _exec_sort(self, node: P.SortNode, stats: ExecutionStats) -> Frame:
+        frame = self._exec(node.child, stats)
+        stats.cost_units += self._cost.sort(frame.n_rows * self._mult)
+        if frame.n_rows == 0:
+            return frame
+        keys = []
+        for name, ascending in reversed(node.keys):
+            values = frame.columns[name]
+            if values.dtype.kind in ("U", "S"):
+                _, codes = np.unique(values, return_inverse=True)
+                values = codes
+            values = values.astype(np.float64)
+            keys.append(values if ascending else -values)
+        order = np.lexsort(keys)
+        return frame.take(order)
+
+    def _exec_limit(self, node: P.LimitNode, stats: ExecutionStats) -> Frame:
+        frame = self._exec(node.child, stats)
+        if frame.n_rows <= node.limit:
+            return frame
+        return frame.take(np.arange(node.limit))
+
+    def _exec_projected_single(
+        self, node: P.ProjectedSingle, stats: ExecutionStats
+    ) -> Frame:
+        return self._exec(node.child, stats)
+
+
+# ---------------------------------------------------------------------------
+# joining / grouping helpers
+# ---------------------------------------------------------------------------
+
+
+def _composite_codes(
+    left_keys: list[np.ndarray], right_keys: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode aligned multi-column keys as comparable int64 codes."""
+    if len(left_keys) != len(right_keys) or not left_keys:
+        raise ExecutionError("mismatched join key lists")
+    left_codes = np.zeros(len(left_keys[0]), dtype=np.int64)
+    right_codes = np.zeros(len(right_keys[0]), dtype=np.int64)
+    for lk, rk in zip(left_keys, right_keys):
+        both = np.concatenate([np.asarray(lk), np.asarray(rk)])
+        uniq, inverse = np.unique(both, return_inverse=True)
+        li = inverse[: len(lk)]
+        ri = inverse[len(lk):]
+        base = len(uniq) + 1
+        left_codes = left_codes * base + li
+        right_codes = right_codes * base + ri
+    return left_codes, right_codes
+
+
+def _equi_match(
+    probe_codes: np.ndarray, build_codes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All matching (probe_idx, build_idx) pairs for equal codes."""
+    order = np.argsort(build_codes, kind="stable")
+    sorted_build = build_codes[order]
+    left = np.searchsorted(sorted_build, probe_codes, side="left")
+    right = np.searchsorted(sorted_build, probe_codes, side="right")
+    counts = right - left
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    probe_idx = np.repeat(np.arange(len(probe_codes)), counts)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    within = np.arange(total) - offsets
+    build_idx = order[np.repeat(left, counts) + within]
+    return probe_idx, build_idx
+
+
+def _combine(
+    left: Frame, right: Frame, left_idx: np.ndarray, right_idx: np.ndarray
+) -> Frame:
+    out = Frame(n_rows=len(left_idx))
+    for key, values in left.columns.items():
+        out.columns[key] = values[left_idx]
+        out.dtypes[key] = left.dtypes.get(key, "float")
+        if key in left.valid:
+            out.valid[key] = left.valid[key][left_idx]
+    for key, values in right.columns.items():
+        out.columns[key] = values[right_idx]
+        out.dtypes[key] = right.dtypes.get(key, "float")
+        if key in right.valid:
+            out.valid[key] = right.valid[key][right_idx]
+    return out
+
+
+def _append_unmatched(
+    joined: Frame, left: Frame, right: Frame, unmatched: np.ndarray
+) -> Frame:
+    """LEFT JOIN tail: unmatched left rows with invalid right columns."""
+    n_extra = int(unmatched.sum())
+    if n_extra == 0:
+        return joined
+    out = Frame(n_rows=joined.n_rows + n_extra)
+    idx = np.flatnonzero(unmatched)
+    for key, values in left.columns.items():
+        out.columns[key] = np.concatenate([joined.columns[key], values[idx]])
+        out.dtypes[key] = left.dtypes.get(key, "float")
+        if key in joined.valid:
+            tail = (
+                left.valid[key][idx]
+                if key in left.valid
+                else np.ones(n_extra, dtype=bool)
+            )
+            out.valid[key] = np.concatenate([joined.valid[key], tail])
+    for key, values in right.columns.items():
+        fill = _null_fill(values, n_extra)
+        out.columns[key] = np.concatenate([joined.columns[key], fill])
+        out.dtypes[key] = right.dtypes.get(key, "float")
+        existing = joined.valid.get(key, np.ones(joined.n_rows, dtype=bool))
+        out.valid[key] = np.concatenate(
+            [existing, np.zeros(n_extra, dtype=bool)]
+        )
+    return out
+
+
+def _null_fill(values: np.ndarray, n: int) -> np.ndarray:
+    if values.dtype.kind in ("U", "S"):
+        return np.full(n, "", dtype=values.dtype)
+    if values.dtype.kind == "f":
+        return np.full(n, np.nan, dtype=values.dtype)
+    return np.zeros(n, dtype=values.dtype)
+
+
+def _group_codes(arrays: list[np.ndarray]) -> np.ndarray:
+    codes = np.zeros(len(arrays[0]), dtype=np.int64)
+    for values in arrays:
+        uniq, inverse = np.unique(np.asarray(values), return_inverse=True)
+        codes = codes * (len(uniq) + 1) + inverse
+    return codes
+
+
+def _agg_input(call: ast.FunctionCall, frame: Frame) -> np.ndarray:
+    if call.star:
+        return np.ones(frame.n_rows)
+    return np.asarray(evaluate(call.args[0], frame))
+
+
+def _count_valid_mask(call: ast.FunctionCall, frame: Frame) -> np.ndarray | None:
+    """Validity mask for COUNT(col) over outer-join output."""
+    if call.star or not call.args:
+        return None
+    arg = call.args[0]
+    if isinstance(arg, ast.Column):
+        key = frame.resolve(arg)
+        return frame.valid.get(key)
+    return None
+
+
+def _global_aggregate(call: ast.FunctionCall, frame: Frame) -> float:
+    if frame.n_rows == 0:
+        return 0.0 if call.name == "COUNT" else float("nan")
+    if call.name == "COUNT":
+        if call.star:
+            return float(frame.n_rows)
+        valid = _count_valid_mask(call, frame)
+        values = _agg_input(call, frame)
+        if call.distinct:
+            if valid is not None:
+                values = values[valid]
+            return float(len(np.unique(values)))
+        return float(valid.sum()) if valid is not None else float(len(values))
+    values = _agg_input(call, frame).astype(np.float64)
+    if call.name == "SUM":
+        return float(values.sum())
+    if call.name == "AVG":
+        return float(values.mean())
+    if call.name == "MIN":
+        return float(values.min())
+    if call.name == "MAX":
+        return float(values.max())
+    raise ExecutionError(f"unsupported aggregate {call.name}")
+
+
+def _grouped_aggregate(
+    call: ast.FunctionCall,
+    frame: Frame,
+    order: np.ndarray,
+    starts: np.ndarray,
+    counts: np.ndarray,
+    group_of_sorted: np.ndarray,
+) -> np.ndarray:
+    n_groups = len(starts)
+    if call.name == "COUNT" and call.star:
+        return counts.astype(np.float64)
+
+    values = _agg_input(call, frame)
+    sorted_values = values[order]
+
+    if call.name == "COUNT":
+        valid = _count_valid_mask(call, frame)
+        if call.distinct:
+            uniq_counts = np.zeros(n_groups, dtype=np.float64)
+            pair_codes = _group_codes([group_of_sorted, sorted_values])
+            uniq_pairs, first_idx = np.unique(pair_codes, return_index=True)
+            groups_of_uniques = group_of_sorted[first_idx]
+            if valid is not None:
+                keep = valid[order][first_idx]
+                groups_of_uniques = groups_of_uniques[keep]
+            np.add.at(uniq_counts, groups_of_uniques, 1.0)
+            return uniq_counts
+        if valid is not None:
+            valid_sorted = valid[order].astype(np.float64)
+            return np.add.reduceat(valid_sorted, starts)
+        return counts.astype(np.float64)
+
+    numeric = sorted_values.astype(np.float64)
+    if call.name == "SUM":
+        return np.add.reduceat(numeric, starts)
+    if call.name == "AVG":
+        return np.add.reduceat(numeric, starts) / counts
+    if call.name == "MIN":
+        return np.minimum.reduceat(numeric, starts)
+    if call.name == "MAX":
+        return np.maximum.reduceat(numeric, starts)
+    raise ExecutionError(f"unsupported aggregate {call.name}")
+
+
+def _expr_dtype(expr: ast.Expr, frame: Frame) -> str:
+    if isinstance(expr, ast.Column):
+        try:
+            return frame.dtype_of(frame.resolve(expr))
+        except ExecutionError:
+            return "float"
+    if isinstance(expr, ast.Literal):
+        return {"number": "float", "string": "str", "date": "date"}.get(
+            expr.kind, "float"
+        )
+    if isinstance(expr, ast.FunctionCall) and expr.name.startswith("EXTRACT"):
+        return "int"
+    if isinstance(expr, ast.FunctionCall) and expr.name in ("SUBSTRING", "SUBSTR"):
+        return "str"
+    return "float"
+
+
+_HANDLERS = {
+    P.ScanNode: Executor._exec_scan,
+    P.DerivedNode: Executor._exec_derived,
+    P.FilterNode: Executor._exec_filter,
+    P.SubqueryInFilterNode: Executor._exec_in_filter,
+    P.HashJoinNode: Executor._exec_hash_join,
+    P.IndexNLJoinNode: Executor._exec_inl_join,
+    P.SemiJoinNode: Executor._exec_semi_join,
+    P.AggCompareNode: Executor._exec_agg_compare,
+    P.AggregateNode: Executor._exec_aggregate,
+    P.ProjectNode: Executor._exec_project,
+    P.DistinctNode: Executor._exec_distinct,
+    P.SortNode: Executor._exec_sort,
+    P.LimitNode: Executor._exec_limit,
+    P.ProjectedSingle: Executor._exec_projected_single,
+}

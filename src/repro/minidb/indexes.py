@@ -1,0 +1,99 @@
+"""Index definitions and configurations.
+
+Indexes here are *hypothetical-first*, like the what-if indexes a
+tuning advisor creates: an :class:`Index` is a named (table, columns)
+shape the optimizer can plan with; execution simulates index access
+over the column store (sorted lookup), so results are identical with or
+without the index — only costs change, which is exactly the contract
+the advisor experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CatalogError
+from repro.minidb.catalog import Catalog
+
+
+@dataclass(frozen=True, slots=True)
+class Index:
+    """A (possibly multi-column) secondary index."""
+
+    table: str
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise CatalogError("an index needs at least one column")
+
+    @property
+    def name(self) -> str:
+        return f"ix_{self.table}_{'_'.join(self.columns)}"
+
+    @property
+    def key_column(self) -> str:
+        """Leading column — the only one usable for seeks."""
+        return self.columns[0]
+
+    def covers(self, needed: set[str]) -> bool:
+        """True when every needed column is in the index (no row lookups)."""
+        return needed.issubset(set(self.columns))
+
+    def size_bytes(self, catalog: Catalog) -> float:
+        """Virtual storage footprint, for the advisor's storage budget."""
+        widths = {"int": 8, "float": 8, "date": 4, "str": 24}
+        table = catalog.table(self.table)
+        per_row = sum(widths[table.column(c).dtype] for c in self.columns) + 8
+        return catalog.scaled_rows(self.table) * per_row
+
+    def __str__(self) -> str:
+        return f"{self.table}({', '.join(self.columns)})"
+
+
+class IndexConfig:
+    """An immutable-ish set of indexes the optimizer may use."""
+
+    def __init__(self, indexes: tuple[Index, ...] | list[Index] = ()) -> None:
+        self._indexes: tuple[Index, ...] = tuple(dict.fromkeys(indexes))
+
+    def __iter__(self):
+        return iter(self._indexes)
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __contains__(self, index: Index) -> bool:
+        return index in self._indexes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IndexConfig):
+            return NotImplemented
+        return set(self._indexes) == set(other._indexes)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._indexes))
+
+    def with_index(self, index: Index) -> "IndexConfig":
+        return IndexConfig(self._indexes + (index,))
+
+    def without_index(self, index: Index) -> "IndexConfig":
+        return IndexConfig(tuple(i for i in self._indexes if i != index))
+
+    def for_table(self, table: str) -> list[Index]:
+        return [i for i in self._indexes if i.table == table]
+
+    def total_size_bytes(self, catalog: Catalog) -> float:
+        return sum(i.size_bytes(catalog) for i in self._indexes)
+
+    def fingerprint(self) -> str:
+        """Stable identity string, used as a cache key by the harness."""
+        return "|".join(sorted(i.name for i in self._indexes)) or "<none>"
+
+    def __str__(self) -> str:
+        if not self._indexes:
+            return "IndexConfig(empty)"
+        return "IndexConfig(" + ", ".join(str(i) for i in self._indexes) + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)

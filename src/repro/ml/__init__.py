@@ -1,0 +1,32 @@
+"""Off-the-shelf machine-learning substrate, from scratch in numpy.
+
+The paper's point is that once queries are vectors, *simple* standard
+algorithms suffice as labelers. This package supplies those standards:
+K-means with the elbow method (§5.1), randomized decision forests
+(§5.2's "randomized decision trees"), k-NN, metrics, stratified
+cross-validation, and preprocessing helpers.
+"""
+
+from repro.ml.kmeans import KMeans, choose_k_elbow
+from repro.ml.tree import DecisionTreeClassifier
+from repro.ml.forest import RandomizedForestClassifier
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.metrics import accuracy_score, confusion_matrix, f1_macro
+from repro.ml.crossval import StratifiedKFold, cross_val_score
+from repro.ml.preprocess import LabelEncoder, StandardScaler, train_test_split
+
+__all__ = [
+    "KMeans",
+    "choose_k_elbow",
+    "DecisionTreeClassifier",
+    "RandomizedForestClassifier",
+    "KNeighborsClassifier",
+    "accuracy_score",
+    "confusion_matrix",
+    "f1_macro",
+    "StratifiedKFold",
+    "cross_val_score",
+    "LabelEncoder",
+    "StandardScaler",
+    "train_test_split",
+]

@@ -1,0 +1,161 @@
+"""K-means clustering with k-means++ seeding and the elbow method.
+
+§5.1 uses exactly this stack: vectors from an embedder, K-means to find
+query clusters, the nearest-to-centroid query as each cluster's
+witness, and "an intentionally simple method (the elbow method)" to
+choose K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LabelingError
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialisation."""
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        n_init: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise LabelingError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.n_init = n_init
+        self.seed = seed
+        self.centroids: np.ndarray | None = None
+        self.labels: np.ndarray | None = None
+        self.inertia: float = float("inf")
+
+    def fit(self, data: np.ndarray) -> "KMeans":
+        """Cluster ``data`` (n, d); keeps the best of ``n_init`` restarts."""
+        if data.ndim != 2:
+            raise LabelingError("KMeans expects a 2-D array")
+        if len(data) < self.n_clusters:
+            raise LabelingError(
+                f"cannot find {self.n_clusters} clusters in {len(data)} points"
+            )
+        rng = np.random.default_rng(self.seed)
+        best: tuple[float, np.ndarray, np.ndarray] | None = None
+        for _ in range(self.n_init):
+            inertia, centroids, labels = self._fit_once(data, rng)
+            if best is None or inertia < best[0]:
+                best = (inertia, centroids, labels)
+        assert best is not None
+        self.inertia, self.centroids, self.labels = best
+        return self
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Assign each row of ``data`` to its nearest centroid."""
+        if self.centroids is None:
+            raise LabelingError("KMeans.predict called before fit")
+        return _nearest(data, self.centroids)[0]
+
+    def fit_predict(self, data: np.ndarray) -> np.ndarray:
+        self.fit(data)
+        assert self.labels is not None
+        return self.labels
+
+    def _fit_once(
+        self, data: np.ndarray, rng: np.random.Generator
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        centroids = _kmeans_plus_plus(data, self.n_clusters, rng)
+        labels = np.zeros(len(data), dtype=np.int64)
+        prev_inertia = float("inf")
+        for _ in range(self.max_iter):
+            labels, dists = _nearest(data, centroids)
+            inertia = float(dists.sum())
+            for k in range(self.n_clusters):
+                members = data[labels == k]
+                if len(members):
+                    centroids[k] = members.mean(axis=0)
+                else:  # re-seed empty cluster at the farthest point
+                    centroids[k] = data[int(np.argmax(dists))]
+            if prev_inertia - inertia < self.tol * max(1.0, prev_inertia):
+                break
+            prev_inertia = inertia
+        labels, dists = _nearest(data, centroids)
+        return float(dists.sum()), centroids, labels
+
+
+def _kmeans_plus_plus(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D² sampling."""
+    n = len(data)
+    centroids = np.empty((k, data.shape[1]))
+    centroids[0] = data[rng.integers(n)]
+    closest = _sq_distances(data, centroids[0][None, :]).ravel()
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            centroids[i:] = data[rng.integers(n, size=k - i)]
+            break
+        probs = closest / total
+        centroids[i] = data[rng.choice(n, p=probs)]
+        closest = np.minimum(
+            closest, _sq_distances(data, centroids[i][None, :]).ravel()
+        )
+    return centroids
+
+
+def _sq_distances(data: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, (n, k)."""
+    # ||x-c||^2 = ||x||^2 - 2 x.c + ||c||^2, computed without (n,k,d) temp
+    x_sq = np.einsum("nd,nd->n", data, data)[:, None]
+    c_sq = np.einsum("kd,kd->k", centroids, centroids)[None, :]
+    cross = data @ centroids.T
+    return np.maximum(x_sq - 2.0 * cross + c_sq, 0.0)
+
+
+def _nearest(
+    data: np.ndarray, centroids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    dists = _sq_distances(data, centroids)
+    labels = np.argmin(dists, axis=1)
+    return labels, dists[np.arange(len(data)), labels]
+
+
+def choose_k_elbow(
+    data: np.ndarray,
+    k_min: int = 2,
+    k_max: int = 40,
+    plateau_ratio: float = 0.008,
+    seed: int = 0,
+) -> tuple[int, list[float]]:
+    """Pick K by the elbow method, as §5.1 prescribes.
+
+    Runs K-means for increasing K and stops when the drop in inertia,
+    measured against the *initial* inertia, falls below
+    ``plateau_ratio`` ("the rate of change of the sum of squared
+    distances from centroids plateaus"). Returns the chosen K and the
+    inertia curve actually computed.
+    """
+    if k_min < 1 or k_max < k_min:
+        raise LabelingError("need 1 <= k_min <= k_max")
+    k_max = min(k_max, len(data))
+    inertias: list[float] = []
+    chosen = max(1, min(k_min, k_max))
+    initial: float | None = None
+    prev: float | None = None
+    for k in range(k_min, k_max + 1):
+        model = KMeans(n_clusters=k, seed=seed).fit(data)
+        inertias.append(model.inertia)
+        if initial is None:
+            initial = max(model.inertia, 1e-12)
+        if prev is not None:
+            drop = (prev - model.inertia) / initial
+            if drop < plateau_ratio:
+                chosen = k - 1
+                break
+        chosen = k
+        prev = model.inertia
+    return chosen, inertias

@@ -1,0 +1,50 @@
+"""Classification metrics used by the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LabelingError
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise LabelingError("y_true and y_pred must have the same shape")
+    if len(y_true) == 0:
+        raise LabelingError("accuracy of zero samples is undefined")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """Counts[c_true, c_pred]; labels must be int codes."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise LabelingError("y_true and y_pred must have the same shape")
+    k = int(n_classes or max(y_true.max(), y_pred.max()) + 1)
+    matrix = np.zeros((k, k), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def f1_macro(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    matrix = confusion_matrix(y_true, y_pred)
+    tp = np.diag(matrix).astype(np.float64)
+    fp = matrix.sum(axis=0) - tp
+    fn = matrix.sum(axis=1) - tp
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(tp + fp > 0, tp / (tp + fp), 0.0)
+        recall = np.where(tp + fn > 0, tp / (tp + fn), 0.0)
+        f1 = np.where(
+            precision + recall > 0,
+            2.0 * precision * recall / (precision + recall),
+            0.0,
+        )
+    present = matrix.sum(axis=1) > 0  # average only over classes that occur
+    return float(f1[present].mean()) if present.any() else 0.0

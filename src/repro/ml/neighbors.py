@@ -1,0 +1,71 @@
+"""k-nearest-neighbours classifier.
+
+Used by the query-recommendation application (predict the next query's
+cluster from recent history) and as a simple alternative labeler in
+ablations. Brute-force distances are fine at workload-analytics scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LabelingError
+
+
+class KNeighborsClassifier:
+    """Majority vote over the k nearest training points (Euclidean)."""
+
+    def __init__(self, n_neighbors: int = 5) -> None:
+        if n_neighbors < 1:
+            raise LabelingError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self._features: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self.n_classes_ = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNeighborsClassifier":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(features) == 0 or len(features) != len(labels):
+            raise LabelingError("features/labels must be non-empty and aligned")
+        self._features = features
+        self._labels = labels
+        self.n_classes_ = int(labels.max()) + 1
+        return self
+
+    @property
+    def labels_(self) -> np.ndarray:
+        """Training labels (readable, e.g. to map neighbours to payloads)."""
+        if self._labels is None:
+            raise LabelingError("labels_ unavailable before fit")
+        return self._labels
+
+    def kneighbors(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return (distances, indices) of each query's k nearest points."""
+        if self._features is None:
+            raise LabelingError("kneighbors called before fit")
+        queries = np.asarray(queries, dtype=np.float64)
+        k = min(self.n_neighbors, len(self._features))
+        q_sq = np.einsum("nd,nd->n", queries, queries)[:, None]
+        t_sq = np.einsum("nd,nd->n", self._features, self._features)[None, :]
+        dists = np.maximum(q_sq - 2.0 * queries @ self._features.T + t_sq, 0.0)
+        idx = np.argpartition(dists, k - 1, axis=1)[:, :k]
+        row = np.arange(len(queries))[:, None]
+        order = np.argsort(dists[row, idx], axis=1)
+        idx = idx[row, order]
+        return np.sqrt(dists[row, idx]), idx
+
+    def predict_proba(self, queries: np.ndarray) -> np.ndarray:
+        assert self._labels is not None or self._raise()
+        _, idx = self.kneighbors(queries)
+        votes = self._labels[idx]
+        probs = np.zeros((len(queries), self.n_classes_))
+        for col in range(votes.shape[1]):
+            probs[np.arange(len(queries)), votes[:, col]] += 1.0
+        return probs / votes.shape[1]
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(queries), axis=1)
+
+    def _raise(self) -> bool:
+        raise LabelingError("predict called before fit")

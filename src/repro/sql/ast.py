@@ -1,0 +1,383 @@
+"""AST node definitions for the SELECT grammar.
+
+The grammar covers what the reproduction needs: the 22 TPC-H templates
+(joins, uncorrelated and correlated subqueries, CASE, aggregates,
+GROUP BY / HAVING / ORDER BY / LIMIT) plus the simpler statements the
+SnowSim workload generator emits. Nodes are immutable dataclasses; the
+planner walks them, never mutates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """A (possibly qualified) column reference, e.g. ``l.l_quantity``."""
+
+    name: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A constant: number, string, date (ISO string tagged ``date``) or NULL."""
+
+    value: object
+    kind: str  # "number" | "string" | "date" | "null" | "bool"
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryOp:
+    """Binary expression; ``op`` is the upper-cased operator lexeme."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryOp:
+    op: str  # "NOT" | "-" | "+"
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionCall:
+    """Function or aggregate call. ``distinct`` matters for COUNT(DISTINCT x)."""
+
+    name: str  # upper-cased
+    args: tuple["Expr", ...]
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+    def __str__(self) -> str:
+        inner = "*" if self.star else ", ".join(str(a) for a in self.args)
+        d = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({d}{inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class CaseExpr:
+    """``CASE WHEN cond THEN value ... ELSE default END``."""
+
+    whens: tuple[tuple["Expr", "Expr"], ...]
+    default: "Expr | None"
+
+    def __str__(self) -> str:
+        parts = " ".join(f"WHEN {c} THEN {v}" for c, v in self.whens)
+        tail = f" ELSE {self.default}" if self.default is not None else ""
+        return f"CASE {parts}{tail} END"
+
+
+@dataclass(frozen=True, slots=True)
+class InList:
+    expr: "Expr"
+    items: tuple["Expr", ...]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({self.expr} {neg}IN ({', '.join(str(i) for i in self.items)}))"
+
+
+@dataclass(frozen=True, slots=True)
+class InSubquery:
+    expr: "Expr"
+    subquery: "SelectStatement"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({self.expr} {neg}IN (<subquery>))"
+
+
+@dataclass(frozen=True, slots=True)
+class Exists:
+    subquery: "SelectStatement"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({neg}EXISTS (<subquery>))"
+
+
+@dataclass(frozen=True, slots=True)
+class ScalarSubquery:
+    subquery: "SelectStatement"
+
+    def __str__(self) -> str:
+        return "(<scalar subquery>)"
+
+
+@dataclass(frozen=True, slots=True)
+class Between:
+    expr: "Expr"
+    low: "Expr"
+    high: "Expr"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({self.expr} {neg}BETWEEN {self.low} AND {self.high})"
+
+
+@dataclass(frozen=True, slots=True)
+class Like:
+    expr: "Expr"
+    pattern: "Expr"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({self.expr} {neg}LIKE {self.pattern})"
+
+
+@dataclass(frozen=True, slots=True)
+class IsNull:
+    expr: "Expr"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({self.expr} IS {neg}NULL)"
+
+
+@dataclass(frozen=True, slots=True)
+class Star:
+    """``SELECT *`` (optionally ``t.*``)."""
+
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+Expr = Union[
+    Column,
+    Literal,
+    BinaryOp,
+    UnaryOp,
+    FunctionCall,
+    CaseExpr,
+    InList,
+    InSubquery,
+    Exists,
+    ScalarSubquery,
+    Between,
+    Like,
+    IsNull,
+    Star,
+]
+
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def is_aggregate_call(expr: Expr) -> bool:
+    """True when ``expr`` is a call to an aggregate function."""
+    return isinstance(expr, FunctionCall) and expr.name in AGGREGATE_FUNCTIONS
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True when any node in ``expr`` is an aggregate call."""
+    if is_aggregate_call(expr):
+        return True
+    return any(contains_aggregate(child) for child in iter_children(expr))
+
+
+def iter_children(expr: Expr):
+    """Yield the direct sub-expressions of ``expr`` (not subqueries)."""
+    if isinstance(expr, BinaryOp):
+        yield expr.left
+        yield expr.right
+    elif isinstance(expr, UnaryOp):
+        yield expr.operand
+    elif isinstance(expr, FunctionCall):
+        yield from expr.args
+    elif isinstance(expr, CaseExpr):
+        for cond, value in expr.whens:
+            yield cond
+            yield value
+        if expr.default is not None:
+            yield expr.default
+    elif isinstance(expr, InList):
+        yield expr.expr
+        yield from expr.items
+    elif isinstance(expr, InSubquery):
+        yield expr.expr
+    elif isinstance(expr, Between):
+        yield expr.expr
+        yield expr.low
+        yield expr.high
+    elif isinstance(expr, Like):
+        yield expr.expr
+        yield expr.pattern
+    elif isinstance(expr, IsNull):
+        yield expr.expr
+
+
+def iter_columns(expr: Expr):
+    """Yield every :class:`Column` referenced in ``expr`` (not subqueries)."""
+    if isinstance(expr, Column):
+        yield expr
+        return
+    for child in iter_children(expr):
+        yield from iter_columns(child)
+
+
+# ---------------------------------------------------------------------------
+# Relations and statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TableRef:
+    """A base-table reference with optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name this relation is visible as in the query scope."""
+        return self.alias or self.name
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True, slots=True)
+class SubqueryRef:
+    """A derived table: ``(SELECT ...) alias``."""
+
+    subquery: "SelectStatement"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+    def __str__(self) -> str:
+        return f"(<subquery>) {self.alias}"
+
+
+@dataclass(frozen=True, slots=True)
+class Join:
+    """Explicit JOIN between two relations; comma joins are built as CROSS."""
+
+    kind: str  # "INNER" | "LEFT" | "RIGHT" | "FULL" | "CROSS"
+    left: "Relation"
+    right: "Relation"
+    condition: Expr | None = None
+
+    @property
+    def binding(self) -> str:  # pragma: no cover - joins are never referenced
+        return "<join>"
+
+    def __str__(self) -> str:
+        cond = f" ON {self.condition}" if self.condition is not None else ""
+        return f"({self.left} {self.kind} JOIN {self.right}{cond})"
+
+
+Relation = Union[TableRef, SubqueryRef, Join]
+
+
+@dataclass(frozen=True, slots=True)
+class SelectItem:
+    """One projection: expression plus optional ``AS alias``."""
+
+    expr: Expr
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        """The column name this item produces in the result."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, Column):
+            return self.expr.name
+        return str(self.expr)
+
+    def __str__(self) -> str:
+        return f"{self.expr} AS {self.alias}" if self.alias else str(self.expr)
+
+
+@dataclass(frozen=True, slots=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+    def __str__(self) -> str:
+        return f"{self.expr} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass(frozen=True, slots=True)
+class SelectStatement:
+    """A full SELECT query."""
+
+    items: tuple[SelectItem, ...]
+    relations: tuple[Relation, ...]  # comma-separated FROM list
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+    def referenced_tables(self) -> list[str]:
+        """Base-table names referenced anywhere in this statement."""
+        names: list[str] = []
+
+        def visit_relation(rel: Relation) -> None:
+            if isinstance(rel, TableRef):
+                names.append(rel.name)
+            elif isinstance(rel, SubqueryRef):
+                visit_stmt(rel.subquery)
+            else:
+                visit_relation(rel.left)
+                visit_relation(rel.right)
+
+        def visit_expr(expr: Expr) -> None:
+            if isinstance(expr, (InSubquery, Exists, ScalarSubquery)):
+                visit_stmt(expr.subquery)
+            if isinstance(expr, InSubquery):
+                visit_expr(expr.expr)
+                return
+            if isinstance(expr, (Exists, ScalarSubquery)):
+                return
+            for child in iter_children(expr):
+                visit_expr(child)
+
+        def visit_stmt(stmt: SelectStatement) -> None:
+            for rel in stmt.relations:
+                visit_relation(rel)
+            for item in stmt.items:
+                visit_expr(item.expr)
+            for clause in (stmt.where, stmt.having):
+                if clause is not None:
+                    visit_expr(clause)
+            for expr in stmt.group_by:
+                visit_expr(expr)
+            for order in stmt.order_by:
+                visit_expr(order.expr)
+
+        visit_stmt(self)
+        return names

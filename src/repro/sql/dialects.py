@@ -1,0 +1,63 @@
+"""Dialect descriptions and dialect-flavoured query rendering.
+
+The paper's motivation is workload *heterogeneity*: the same logical
+query arrives spelled differently per engine. SnowSim uses these
+dialect profiles to emit realistic surface variation (quoting style,
+limit syntax, parameter markers), and the tests use them to verify the
+lexer/normalizer erase exactly that variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Dialect:
+    """Surface conventions of one SQL dialect."""
+
+    name: str
+    identifier_quote: str  # character used to quote identifiers
+    limit_style: str  # "limit" | "top" | "fetch"
+    parameter_marker: str  # "?" | ":name" | "%s" | "$n"
+    upper_keywords: bool  # whether generated SQL upper-cases keywords
+
+    def quote_identifier(self, identifier: str) -> str:
+        """Quote ``identifier`` using this dialect's convention."""
+        q = self.identifier_quote
+        if q == "[":
+            return f"[{identifier}]"
+        return f"{q}{identifier}{q}"
+
+    def render_limit(self, n: int) -> tuple[str, str]:
+        """Return (prefix, suffix) clauses implementing LIMIT ``n``."""
+        if self.limit_style == "top":
+            return (f"TOP {n} ", "")
+        if self.limit_style == "fetch":
+            return ("", f" FETCH FIRST {n} ROWS ONLY")
+        return ("", f" LIMIT {n}")
+
+
+GENERIC = Dialect("generic", '"', "limit", "?", True)
+SNOWFLAKE = Dialect("snowflake", '"', "limit", ":p", True)
+BIGQUERY = Dialect("bigquery", "`", "limit", "?", False)
+SQLSERVER = Dialect("sqlserver", "[", "top", "?", True)
+REDSHIFT = Dialect("redshift", '"', "limit", "%s", False)
+POSTGRES = Dialect("postgres", '"', "limit", "$1", False)
+
+ALL_DIALECTS: tuple[Dialect, ...] = (
+    GENERIC,
+    SNOWFLAKE,
+    BIGQUERY,
+    SQLSERVER,
+    REDSHIFT,
+    POSTGRES,
+)
+
+
+def dialect_by_name(name: str) -> Dialect:
+    """Look up a dialect profile by name (case-insensitive)."""
+    for dialect in ALL_DIALECTS:
+        if dialect.name == name.lower():
+            return dialect
+    raise KeyError(f"unknown dialect: {name}")

@@ -1,0 +1,54 @@
+"""Canonicalisation and templatization of query text.
+
+Two representations are produced from raw SQL:
+
+* :func:`normalize` — canonical single-spaced text with keywords
+  upper-cased; used when comparing or deduplicating queries.
+* :func:`templatize` — like normalize but with literals folded to
+  placeholder tokens (``<NUM>``, ``<STR>``); two executions of the same
+  prepared statement with different parameters templatize identically.
+* :func:`token_stream` — the token sequence fed to embedders. Literals
+  are folded there too: the paper's embedders learn structure and
+  schema vocabulary, not constants.
+"""
+
+from __future__ import annotations
+
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenType
+
+NUM_PLACEHOLDER = "<NUM>"
+STR_PLACEHOLDER = "<STR>"
+PARAM_PLACEHOLDER = "<PARAM>"
+
+
+def normalize(sql: str) -> str:
+    """Return canonical single-spaced text with upper-cased keywords."""
+    return " ".join(_render(tok, fold_literals=False) for tok in tokenize(sql)[:-1])
+
+
+def templatize(sql: str) -> str:
+    """Return normalized text with literals replaced by placeholders."""
+    return " ".join(_render(tok, fold_literals=True) for tok in tokenize(sql)[:-1])
+
+
+def token_stream(sql: str, fold_literals: bool = True) -> list[str]:
+    """Return the token sequence used as embedder input.
+
+    Identifiers are lower-cased so schema vocabulary is case-insensitive
+    across dialects; keywords are upper-cased; literals fold to
+    placeholders unless ``fold_literals`` is False.
+    """
+    return [_render(tok, fold_literals) for tok in tokenize(sql)[:-1]]
+
+
+def _render(tok: Token, fold_literals: bool) -> str:
+    if tok.type is TokenType.NUMBER:
+        return NUM_PLACEHOLDER if fold_literals else tok.value
+    if tok.type is TokenType.STRING:
+        return STR_PLACEHOLDER if fold_literals else tok.value
+    if tok.type is TokenType.PARAMETER:
+        return PARAM_PLACEHOLDER if fold_literals else tok.value
+    if tok.type is TokenType.IDENTIFIER:
+        return tok.value.lower()
+    return tok.value

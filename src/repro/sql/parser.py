@@ -1,0 +1,531 @@
+"""Recursive-descent parser for the SELECT grammar.
+
+Covers the union of constructs used by the TPC-H templates and the
+SnowSim workload: joins (comma and explicit), subqueries (IN / EXISTS /
+scalar / derived tables), CASE, BETWEEN, LIKE, IS NULL, aggregates,
+GROUP BY / HAVING / ORDER BY / LIMIT / TOP, DATE and INTERVAL literals,
+and EXTRACT. Operator precedence follows standard SQL:
+
+    OR < AND < NOT < comparison < additive < multiplicative < unary
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenType
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", ">", "<=", ">="}
+
+
+def parse_select(sql: str) -> ast.SelectStatement:
+    """Parse ``sql`` (a single SELECT statement) into an AST.
+
+    Raises
+    ------
+    ParseError
+        When the text is not a supported SELECT statement.
+    """
+    parser = _Parser(tokenize(sql))
+    stmt = parser.parse_statement()
+    parser.expect_end()
+    return stmt
+
+
+class _Parser:
+    """Token-stream cursor with one token of lookahead."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- cursor helpers ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.type is not TokenType.EOF:
+            self._pos += 1
+        return tok
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.current.is_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, name: str) -> None:
+        if not self.accept_keyword(name):
+            raise ParseError(f"expected {name}, got {self.current}", self._pos)
+
+    def accept_punct(self, value: str) -> bool:
+        tok = self.current
+        if tok.type is TokenType.PUNCTUATION and tok.value == value:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, value: str) -> None:
+        if not self.accept_punct(value):
+            raise ParseError(f"expected {value!r}, got {self.current}", self._pos)
+
+    def expect_end(self) -> None:
+        self.accept_punct(";")
+        if self.current.type is not TokenType.EOF:
+            raise ParseError(f"trailing input: {self.current}", self._pos)
+
+    # -- statement ----------------------------------------------------------
+
+    def parse_statement(self) -> ast.SelectStatement:
+        self.expect_keyword("SELECT")
+        distinct = False
+        if self.accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self.accept_keyword("ALL")
+
+        limit: int | None = None
+        if self.accept_keyword("TOP"):  # SQL Server dialect
+            limit = self._parse_int_literal()
+
+        items = [self._parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self._parse_select_item())
+
+        relations: list[ast.Relation] = []
+        if self.accept_keyword("FROM"):
+            relations.append(self._parse_joined_relation())
+            while self.accept_punct(","):
+                relations.append(self._parse_joined_relation())
+
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+
+        group_by: list[ast.Expr] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expression())
+            while self.accept_punct(","):
+                group_by.append(self.parse_expression())
+
+        having = self.parse_expression() if self.accept_keyword("HAVING") else None
+
+        order_by: list[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self._parse_order_item())
+
+        if self.accept_keyword("LIMIT"):
+            limit = self._parse_int_literal()
+        elif self.accept_keyword("FETCH"):  # FETCH FIRST n ROWS ONLY
+            self.accept_keyword("FIRST")
+            self.accept_keyword("NEXT")
+            limit = self._parse_int_literal()
+            self.accept_keyword("ROWS")
+            self.accept_keyword("ROW")
+            self.accept_keyword("ONLY")
+
+        return ast.SelectStatement(
+            items=tuple(items),
+            relations=tuple(relations),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_int_literal(self) -> int:
+        tok = self.current
+        if tok.type is not TokenType.NUMBER:
+            raise ParseError(f"expected integer, got {tok}", self._pos)
+        self.advance()
+        return int(float(tok.value))
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        tok = self.current
+        if tok.type is TokenType.OPERATOR and tok.value == "*":
+            self.advance()
+            return ast.SelectItem(ast.Star())
+        expr = self.parse_expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self.advance().value
+        return ast.SelectItem(expr, alias)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expression()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        if self.accept_keyword("NULLS"):
+            if not (self.accept_keyword("FIRST") or self.accept_keyword("LAST")):
+                raise ParseError("expected FIRST or LAST after NULLS", self._pos)
+        return ast.OrderItem(expr, ascending)
+
+    def _expect_identifier(self) -> str:
+        tok = self.current
+        if tok.type is not TokenType.IDENTIFIER:
+            raise ParseError(f"expected identifier, got {tok}", self._pos)
+        self.advance()
+        return tok.value
+
+    # -- relations ----------------------------------------------------------
+
+    def _parse_joined_relation(self) -> ast.Relation:
+        rel = self._parse_primary_relation()
+        while True:
+            kind = self._peek_join_kind()
+            if kind is None:
+                return rel
+            right = self._parse_primary_relation()
+            condition = None
+            if self.accept_keyword("ON"):
+                condition = self.parse_expression()
+            elif self.accept_keyword("USING"):
+                self.expect_punct("(")
+                cols = [self._expect_identifier()]
+                while self.accept_punct(","):
+                    cols.append(self._expect_identifier())
+                self.expect_punct(")")
+                condition = _using_condition(rel, right, cols)
+            rel = ast.Join(kind=kind, left=rel, right=right, condition=condition)
+
+    def _peek_join_kind(self) -> str | None:
+        if self.accept_keyword("CROSS"):
+            self.expect_keyword("JOIN")
+            return "CROSS"
+        if self.accept_keyword("INNER"):
+            self.expect_keyword("JOIN")
+            return "INNER"
+        for kind in ("LEFT", "RIGHT", "FULL"):
+            if self.accept_keyword(kind):
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                return kind
+        if self.accept_keyword("JOIN"):
+            return "INNER"
+        return None
+
+    def _parse_primary_relation(self) -> ast.Relation:
+        if self.accept_punct("("):
+            if self.current.is_keyword("SELECT"):
+                sub = self.parse_statement()
+                self.expect_punct(")")
+                self.accept_keyword("AS")
+                alias = self._expect_identifier()
+                return ast.SubqueryRef(sub, alias)
+            rel = self._parse_joined_relation()
+            self.expect_punct(")")
+            return rel
+        name = self._expect_identifier()
+        # schema-qualified name: keep the last component
+        while self.accept_punct("."):
+            name = self._expect_identifier()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self.current.type is TokenType.IDENTIFIER:
+            alias = self.advance().value
+        return ast.TableRef(name, alias)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        expr = self._parse_and()
+        while self.accept_keyword("OR"):
+            expr = ast.BinaryOp("OR", expr, self._parse_and())
+        return expr
+
+    def _parse_and(self) -> ast.Expr:
+        expr = self._parse_not()
+        while self.accept_keyword("AND"):
+            expr = ast.BinaryOp("AND", expr, self._parse_not())
+        return expr
+
+    def _parse_not(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expr:
+        if self.current.is_keyword("EXISTS"):
+            self.advance()
+            self.expect_punct("(")
+            sub = self.parse_statement()
+            self.expect_punct(")")
+            return ast.Exists(sub)
+
+        expr = self._parse_additive()
+
+        negated = False
+        if self.current.is_keyword("NOT"):
+            nxt = self._tokens[self._pos + 1]
+            if nxt.is_keyword("IN", "BETWEEN", "LIKE", "ILIKE"):
+                self.advance()
+                negated = True
+
+        if self.accept_keyword("IN"):
+            return self._parse_in_tail(expr, negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self.expect_keyword("AND")
+            high = self._parse_additive()
+            return ast.Between(expr, low, high, negated)
+        if self.accept_keyword("LIKE") or self.accept_keyword("ILIKE"):
+            pattern = self._parse_additive()
+            return ast.Like(expr, pattern, negated)
+        if self.accept_keyword("IS"):
+            is_negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return ast.IsNull(expr, is_negated)
+
+        tok = self.current
+        if tok.type is TokenType.OPERATOR and tok.value in _COMPARISON_OPS:
+            self.advance()
+            op = "<>" if tok.value == "!=" else tok.value
+            right = self._parse_additive()
+            return ast.BinaryOp(op, expr, right)
+        return expr
+
+    def _parse_in_tail(self, expr: ast.Expr, negated: bool) -> ast.Expr:
+        self.expect_punct("(")
+        if self.current.is_keyword("SELECT"):
+            sub = self.parse_statement()
+            self.expect_punct(")")
+            return ast.InSubquery(expr, sub, negated)
+        items = [self.parse_expression()]
+        while self.accept_punct(","):
+            items.append(self.parse_expression())
+        self.expect_punct(")")
+        return ast.InList(expr, tuple(items), negated)
+
+    def _parse_additive(self) -> ast.Expr:
+        expr = self._parse_multiplicative()
+        while True:
+            tok = self.current
+            if tok.type is TokenType.OPERATOR and tok.value in ("+", "-", "||"):
+                self.advance()
+                expr = ast.BinaryOp(tok.value, expr, self._parse_multiplicative())
+            else:
+                return expr
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        expr = self._parse_unary()
+        while True:
+            tok = self.current
+            if tok.type is TokenType.OPERATOR and tok.value in ("*", "/", "%"):
+                self.advance()
+                expr = ast.BinaryOp(tok.value, expr, self._parse_unary())
+            else:
+                return expr
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self.current
+        if tok.type is TokenType.OPERATOR and tok.value in ("-", "+"):
+            self.advance()
+            return ast.UnaryOp(tok.value, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self.current
+
+        if tok.type is TokenType.NUMBER:
+            self.advance()
+            text = tok.value
+            value = float(text) if ("." in text or "e" in text.lower()) else int(text, 0)
+            return ast.Literal(value, "number")
+
+        if tok.type is TokenType.STRING:
+            self.advance()
+            return ast.Literal(_unquote(tok.value), "string")
+
+        if tok.type is TokenType.PARAMETER:
+            self.advance()
+            return ast.Literal(tok.value, "string")
+
+        if tok.is_keyword("NULL"):
+            self.advance()
+            return ast.Literal(None, "null")
+        if tok.is_keyword("TRUE"):
+            self.advance()
+            return ast.Literal(True, "bool")
+        if tok.is_keyword("FALSE"):
+            self.advance()
+            return ast.Literal(False, "bool")
+
+        if tok.is_keyword("DATE", "TIMESTAMP", "TIME"):
+            nxt = self._tokens[self._pos + 1]
+            if nxt.type is TokenType.STRING:
+                self.advance()
+                self.advance()
+                return ast.Literal(_unquote(nxt.value)[:10], "date")
+
+        if tok.is_keyword("INTERVAL"):
+            return self._parse_interval()
+
+        if tok.is_keyword("CASE"):
+            return self._parse_case()
+
+        if tok.is_keyword("CAST"):
+            self.advance()
+            self.expect_punct("(")
+            inner = self.parse_expression()
+            self.expect_keyword("AS")
+            type_name = self._parse_type_name()
+            self.expect_punct(")")
+            return ast.FunctionCall("CAST_" + type_name, (inner,))
+
+        if tok.is_keyword("EXTRACT"):
+            self.advance()
+            self.expect_punct("(")
+            field_tok = self.advance()
+            field = field_tok.value.upper()
+            self.expect_keyword("FROM")
+            inner = self.parse_expression()
+            self.expect_punct(")")
+            return ast.FunctionCall("EXTRACT_" + field, (inner,))
+
+        if tok.type is TokenType.KEYWORD and tok.value in ast.AGGREGATE_FUNCTIONS:
+            self.advance()
+            return self._parse_call(tok.value)
+
+        if self.accept_punct("("):
+            if self.current.is_keyword("SELECT"):
+                sub = self.parse_statement()
+                self.expect_punct(")")
+                return ast.ScalarSubquery(sub)
+            expr = self.parse_expression()
+            self.expect_punct(")")
+            return expr
+
+        if tok.type is TokenType.IDENTIFIER:
+            return self._parse_identifier_expr()
+
+        raise ParseError(f"unexpected token {tok}", self._pos)
+
+    def _parse_identifier_expr(self) -> ast.Expr:
+        name = self._expect_identifier()
+        # function call?
+        if self.current.type is TokenType.PUNCTUATION and self.current.value == "(":
+            return self._parse_call(name.upper())
+        if self.accept_punct("."):
+            tok = self.current
+            if tok.type is TokenType.OPERATOR and tok.value == "*":
+                self.advance()
+                return ast.Star(table=name)
+            col = self._expect_identifier()
+            # schema.table.column → keep last two components
+            while self.accept_punct("."):
+                name, col = col, self._expect_identifier()
+            return ast.Column(col.lower(), name.lower())
+        return ast.Column(name.lower())
+
+    def _parse_call(self, name: str) -> ast.Expr:
+        """Parse the argument list of a call whose name is already consumed."""
+        self.expect_punct("(")
+        tok = self.current
+        if tok.type is TokenType.OPERATOR and tok.value == "*":
+            self.advance()
+            self.expect_punct(")")
+            return ast.FunctionCall(name, (), star=True)
+        distinct = self.accept_keyword("DISTINCT")
+        args: list[ast.Expr] = []
+        if not (self.current.type is TokenType.PUNCTUATION and self.current.value == ")"):
+            args.append(self.parse_expression())
+            while self.accept_punct(","):
+                args.append(self.parse_expression())
+        self.expect_punct(")")
+        return ast.FunctionCall(name, tuple(args), distinct=distinct)
+
+    def _parse_case(self) -> ast.Expr:
+        self.expect_keyword("CASE")
+        whens: list[tuple[ast.Expr, ast.Expr]] = []
+        while self.accept_keyword("WHEN"):
+            cond = self.parse_expression()
+            self.expect_keyword("THEN")
+            value = self.parse_expression()
+            whens.append((cond, value))
+        if not whens:
+            raise ParseError("CASE requires at least one WHEN", self._pos)
+        default = self.parse_expression() if self.accept_keyword("ELSE") else None
+        self.expect_keyword("END")
+        return ast.CaseExpr(tuple(whens), default)
+
+    def _parse_interval(self) -> ast.Expr:
+        """Parse ``INTERVAL '3' MONTH`` into a day-count literal.
+
+        The engine stores dates as days, so intervals fold to an
+        approximate day count (exact for DAY, conventional 30/365
+        for MONTH/YEAR — the TPC-H templates only add intervals to
+        date literals, which the workload generator pre-computes, so
+        this path exists for ad-hoc queries).
+        """
+        self.expect_keyword("INTERVAL")
+        tok = self.current
+        if tok.type is TokenType.STRING:
+            amount = float(_unquote(tok.value))
+            self.advance()
+        elif tok.type is TokenType.NUMBER:
+            amount = float(tok.value)
+            self.advance()
+        else:
+            raise ParseError("expected interval amount", self._pos)
+        unit_tok = self.advance()
+        unit = unit_tok.value.upper()
+        days_per_unit = {"DAY": 1, "WEEK": 7, "MONTH": 30, "YEAR": 365}
+        if unit not in days_per_unit:
+            raise ParseError(f"unsupported interval unit {unit}", self._pos)
+        return ast.Literal(amount * days_per_unit[unit], "number")
+
+    def _parse_type_name(self) -> str:
+        parts = [self.advance().value.upper()]
+        if self.accept_punct("("):
+            self._parse_int_literal()
+            if self.accept_punct(","):
+                self._parse_int_literal()
+            self.expect_punct(")")
+        return parts[0]
+
+
+def _unquote(text: str) -> str:
+    """Strip surrounding quotes and undo doubled-quote escapes."""
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"`":
+        quote = text[0]
+        return text[1:-1].replace(quote * 2, quote)
+    return text
+
+
+def _using_condition(
+    left: ast.Relation, right: ast.Relation, columns: list[str]
+) -> ast.Expr:
+    """Build the equality condition implied by ``USING (c1, c2, ...)``."""
+    left_name = left.binding if isinstance(left, (ast.TableRef, ast.SubqueryRef)) else None
+    right_name = (
+        right.binding if isinstance(right, (ast.TableRef, ast.SubqueryRef)) else None
+    )
+    condition: ast.Expr | None = None
+    for col in columns:
+        eq = ast.BinaryOp(
+            "=",
+            ast.Column(col.lower(), left_name),
+            ast.Column(col.lower(), right_name),
+        )
+        condition = eq if condition is None else ast.BinaryOp("AND", condition, eq)
+    assert condition is not None
+    return condition

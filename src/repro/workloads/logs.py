@@ -1,0 +1,43 @@
+"""Query-log records: the labeled-query data model made concrete.
+
+The paper's only inter-component message is a labeled query
+``(Q, c1, c2, ...)``; a :class:`QueryLogRecord` is that tuple with the
+labels the experiments use named explicitly (user, account, cluster,
+runtime, memory, error), mirroring what database services export in
+their query logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class QueryLogRecord:
+    """One logged query with its ground-truth labels."""
+
+    query: str
+    timestamp: float = 0.0
+    user: str = ""
+    account: str = ""
+    cluster: str = ""
+    runtime_seconds: float = 0.0
+    memory_mb: float = 0.0
+    error_code: str = ""  # empty string = success
+    template_id: str = ""  # generator-side provenance (never fed to models)
+
+    def label(self, name: str):
+        """Fetch a label by name — the generic (Q, c1, c2, ...) view."""
+        if not hasattr(self, name):
+            raise KeyError(f"unknown label {name!r}")
+        return getattr(self, name)
+
+
+def labels_of(records: list[QueryLogRecord], name: str) -> list:
+    """Column view over one label of a record batch."""
+    return [record.label(name) for record in records]
+
+
+def queries_of(records: list[QueryLogRecord]) -> list[str]:
+    """The raw query texts of a record batch."""
+    return [record.query for record in records]

@@ -1,0 +1,53 @@
+"""Batched query streams — the ``query(X, t)`` arrows in Figure 1.
+
+A :class:`QueryStream` replays a list of log records as timed batches,
+which is how Qworkers consume work in the Querc architecture.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workloads.logs import QueryLogRecord
+
+
+@dataclass(frozen=True, slots=True)
+class StreamBatch:
+    """One batch of queries for one application at one time step."""
+
+    application: str
+    time_step: int
+    records: tuple[QueryLogRecord, ...]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class QueryStream:
+    """Replays records for one application in fixed-size batches."""
+
+    def __init__(
+        self,
+        application: str,
+        records: list[QueryLogRecord],
+        batch_size: int = 32,
+    ) -> None:
+        if batch_size < 1:
+            raise WorkloadError("batch_size must be >= 1")
+        self.application = application
+        self._records = list(records)
+        self.batch_size = batch_size
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def batches(self) -> Iterator[StreamBatch]:
+        """Yield consecutive :class:`StreamBatch` objects."""
+        for step, start in enumerate(range(0, len(self._records), self.batch_size)):
+            yield StreamBatch(
+                application=self.application,
+                time_step=step,
+                records=tuple(self._records[start : start + self.batch_size]),
+            )

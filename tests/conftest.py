@@ -1,0 +1,69 @@
+"""Shared fixtures: small-but-real substrates, session-scoped.
+
+Expensive artifacts (database, corpora, fitted embedders) are built
+once per session; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding import Doc2VecEmbedder, LSTMAutoencoderEmbedder
+from repro.minidb import Database, generate_tpch_database
+from repro.workloads import (
+    SnowSimConfig,
+    generate_snowsim_workload,
+    generate_tpch_workload,
+)
+
+
+@pytest.fixture(scope="session")
+def tpch_db() -> Database:
+    """A small materialized TPC-H database (virtual scale = exec scale)."""
+    return generate_tpch_database(exec_scale=0.005, virtual_scale=0.005, seed=42)
+
+
+@pytest.fixture(scope="session")
+def tpch_workload() -> list[str]:
+    return generate_tpch_workload(instances_per_template=2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def snowsim_records():
+    return generate_snowsim_workload(
+        SnowSimConfig(total_queries=1200, seed=5)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> list[str]:
+    """A tiny deterministic SQL corpus for embedder tests."""
+    corpus = []
+    for i in range(50):
+        corpus.append(
+            f"SELECT col_{i % 5}, SUM(metric_{i % 3}) FROM table_{i % 4} "
+            f"WHERE col_{i % 5} > {i} GROUP BY col_{i % 5}"
+        )
+        corpus.append(
+            f"SELECT * FROM logs_{i % 3} WHERE ts >= '2020-01-0{i % 9 + 1}' "
+            f"LIMIT {i + 1}"
+        )
+    return corpus
+
+
+@pytest.fixture(scope="session")
+def fitted_doc2vec(small_corpus) -> Doc2VecEmbedder:
+    return Doc2VecEmbedder(dimension=16, epochs=5, seed=1).fit(small_corpus)
+
+
+@pytest.fixture(scope="session")
+def fitted_lstm(small_corpus) -> LSTMAutoencoderEmbedder:
+    return LSTMAutoencoderEmbedder(
+        dimension=16, embed_size=12, epochs=4, batch_size=32, seed=1
+    ).fit(small_corpus)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

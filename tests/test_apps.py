@@ -1,0 +1,169 @@
+"""Tests for the §4 applications over the public API."""
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.apps.errorpred import ErrorPredictor
+from repro.apps.recommendation import QueryRecommender
+from repro.apps.resources import ResourceAllocator, resource_class
+from repro.apps.routing import RoutingPolicyAuditor
+from repro.apps.security import SecurityAuditor
+from repro.apps.summarization import (
+    KMedoidsBaselineSummarizer,
+    WorkloadSummarizer,
+)
+from repro.errors import LabelingError
+from repro.workloads.logs import QueryLogRecord
+
+
+class TestSummarization:
+    def test_summary_is_subset_with_k_clusters(self, fitted_doc2vec, tpch_workload):
+        summarizer = WorkloadSummarizer(fitted_doc2vec, k=6, seed=0)
+        summary = summarizer.summarize(tpch_workload)
+        assert set(summary.queries) <= set(tpch_workload)
+        assert 1 <= len(summary.queries) <= 6
+        assert summary.k == 6
+
+    def test_elbow_autoselects_k(self, fitted_doc2vec, tpch_workload):
+        summarizer = WorkloadSummarizer(fitted_doc2vec, k_range=(2, 12), seed=0)
+        summary = summarizer.summarize(tpch_workload)
+        assert 2 <= summary.k <= 12
+        assert summary.inertia_curve  # curve recorded
+
+    def test_indices_point_at_queries(self, fitted_doc2vec, tpch_workload):
+        summary = WorkloadSummarizer(fitted_doc2vec, k=5, seed=0).summarize(
+            tpch_workload
+        )
+        for idx, query in zip(summary.indices, summary.queries):
+            assert tpch_workload[idx] == query
+
+    def test_empty_workload_raises(self, fitted_doc2vec):
+        with pytest.raises(LabelingError):
+            WorkloadSummarizer(fitted_doc2vec, k=2).summarize([])
+
+    def test_kmedoids_baseline(self, tpch_workload):
+        summary = KMedoidsBaselineSummarizer(k=5, seed=0).summarize(tpch_workload)
+        assert set(summary.queries) <= set(tpch_workload)
+        assert len(summary.queries) <= 5
+
+
+@pytest.fixture(scope="module")
+def auditor_setup(fitted_doc2vec, snowsim_records):
+    # use a mid-sized exclusive account for trainable user signal
+    train = snowsim_records[:800]
+    test = snowsim_records[800:1000]
+    auditor = SecurityAuditor(fitted_doc2vec, n_trees=8, seed=0).fit(train)
+    return auditor, train, test
+
+
+class TestSecurity:
+    def test_account_prediction_beats_chance(self, auditor_setup):
+        auditor, _, test = auditor_setup
+        predictions = auditor.predict_account([r.query for r in test])
+        accuracy = np.mean([p == r.account for p, r in zip(predictions, test)])
+        n_accounts = len({r.account for r in test})
+        assert accuracy > 2.0 / n_accounts
+
+    def test_cross_validate_returns_fold_scores(self, auditor_setup):
+        auditor, train, _ = auditor_setup
+        scores = auditor.cross_validate(train[:300], "account", n_folds=3)
+        assert len(scores) == 3
+        assert all(0 <= s <= 1 for s in scores)
+
+    def test_audit_flags_are_mismatches(self, auditor_setup):
+        auditor, _, test = auditor_setup
+        findings = auditor.audit(test, min_confidence=0.0)
+        for finding in findings:
+            assert finding.predicted_user != finding.claimed_user
+
+    def test_audit_before_fit_raises(self, fitted_doc2vec):
+        with pytest.raises(LabelingError):
+            SecurityAuditor(fitted_doc2vec).audit([])
+
+    def test_bad_label_rejected(self, auditor_setup):
+        auditor, train, _ = auditor_setup
+        with pytest.raises(LabelingError):
+            auditor.cross_validate(train, "salary")
+
+
+class TestRouting:
+    def test_finds_injected_misroutes(self, fitted_doc2vec, snowsim_records):
+        train = snowsim_records[:800]
+        auditor = RoutingPolicyAuditor(fitted_doc2vec, n_trees=8, seed=0).fit(train)
+        # build a clean home map, then inject misroutes
+        home = defaultdict(lambda: defaultdict(int))
+        for r in train:
+            home[r.account][r.cluster] += 1
+        home_of = {a: max(c, key=c.get) for a, c in home.items()}
+        clean = [
+            QueryLogRecord(query=r.query, account=r.account, cluster=home_of[r.account])
+            for r in snowsim_records[800:900]
+        ]
+        wrong = [
+            QueryLogRecord(query=r.query, account=r.account, cluster="cluster_mars")
+            for r in snowsim_records[900:950]
+        ]
+        clean_flags = auditor.find_misroutes(clean, min_confidence=0.6)
+        wrong_flags = auditor.find_misroutes(wrong, min_confidence=0.6)
+        assert len(wrong_flags) / len(wrong) > len(clean_flags) / len(clean)
+
+
+class TestErrorsAndResources:
+    def test_error_predictor_scores_errors_riskier(self, fitted_doc2vec):
+        from repro.workloads import SnowSimConfig, generate_snowsim_workload
+
+        # a corpus with enough errors for the signal to be learnable
+        records = generate_snowsim_workload(
+            SnowSimConfig(total_queries=2000, seed=17, error_rate=0.15)
+        )
+        train = records[:1500]
+        test = records[1500:]
+        predictor = ErrorPredictor(fitted_doc2vec, n_trees=12, seed=0).fit(train)
+        predictions = predictor.predict([r.query for r in test])
+        assert len(predictions) == len(test)
+        scores = predictor.risk_scores([r.query for r in test])
+        assert ((scores >= 0) & (scores <= 1)).all()
+        err_scores = [s for s, r in zip(scores, test) if r.error_code == "OOM"]
+        ok_scores = [s for s, r in zip(scores, test) if not r.error_code]
+        assert len(err_scores) >= 10
+        assert np.mean(err_scores) > np.mean(ok_scores)
+
+    def test_resource_class_buckets(self):
+        assert resource_class(0.1, 10) == "light"
+        assert resource_class(1.0, 10) == "standard"
+        assert resource_class(10.0, 10) == "long-running"
+        assert resource_class(10.0, 999) == "memory-intensive"
+
+    def test_allocator_beats_majority_class(self, fitted_doc2vec, snowsim_records):
+        train = snowsim_records[:900]
+        test = snowsim_records[900:1200]
+        allocator = ResourceAllocator(fitted_doc2vec, n_trees=10, seed=0).fit(train)
+        accuracy = allocator.accuracy(test)
+        truth = [resource_class(r.runtime_seconds, r.memory_mb) for r in test]
+        majority = max(truth.count(c) for c in set(truth)) / len(truth)
+        assert accuracy >= majority - 0.05
+
+
+class TestRecommendation:
+    def test_recommends_from_neighbours(self, fitted_doc2vec, snowsim_records):
+        sessions = defaultdict(list)
+        for r in snowsim_records:
+            sessions[r.user].append(r.query)
+        usable = [qs for qs in sessions.values() if len(qs) >= 5][:20]
+        recommender = QueryRecommender(fitted_doc2vec, history=2, n_neighbors=4)
+        recommender.fit(usable)
+        suggestions = recommender.recommend(usable[0][:3], top_k=3)
+        assert 1 <= len(suggestions) <= 3
+        assert all(isinstance(s, str) and s for s in suggestions)
+
+    def test_too_short_sessions_raise(self, fitted_doc2vec):
+        with pytest.raises(LabelingError):
+            QueryRecommender(fitted_doc2vec).fit([["only one"]])
+
+    def test_empty_history_raises(self, fitted_doc2vec, snowsim_records):
+        sessions = [[r.query for r in snowsim_records[:6]]]
+        rec = QueryRecommender(fitted_doc2vec, history=2).fit(sessions)
+        with pytest.raises(LabelingError):
+            rec.recommend([])

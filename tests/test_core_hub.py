@@ -1,0 +1,71 @@
+"""Unit tests for the pre-trained model hub."""
+
+import numpy as np
+import pytest
+
+from repro.core.hub import ModelHub
+from repro.errors import ServiceError
+
+
+@pytest.fixture()
+def hub(tmp_path):
+    return ModelHub(tmp_path / "hub")
+
+
+class TestPublishFetch:
+    def test_roundtrip(self, hub, fitted_doc2vec, small_corpus):
+        hub.publish(
+            "snowsim-d2v-16",
+            fitted_doc2vec,
+            corpus_description="50-query synthetic corpus",
+            publisher="repro-tests",
+        )
+        fetched = hub.fetch("snowsim-d2v-16")
+        assert np.allclose(
+            fitted_doc2vec.transform(small_corpus[:3]),
+            fetched.transform(small_corpus[:3]),
+        )
+
+    def test_listing_and_metadata(self, hub, fitted_doc2vec, fitted_lstm):
+        hub.publish("a-model", fitted_doc2vec, "corpus A")
+        hub.publish("b-model", fitted_lstm, "corpus B", publisher="uw")
+        models = hub.list_models()
+        assert [m.name for m in models] == ["a-model", "b-model"]
+        entry = hub.describe("b-model")
+        assert entry.kind == "LSTMAutoencoderEmbedder"
+        assert entry.dimension == 16
+        assert entry.publisher == "uw"
+
+    def test_published_models_immutable(self, hub, fitted_doc2vec):
+        hub.publish("pinned", fitted_doc2vec, "v1")
+        with pytest.raises(ServiceError):
+            hub.publish("pinned", fitted_doc2vec, "v2")
+
+    def test_unknown_model_raises(self, hub):
+        with pytest.raises(ServiceError):
+            hub.fetch("ghost")
+
+    def test_bad_name_rejected(self, hub, fitted_doc2vec):
+        with pytest.raises(ServiceError):
+            hub.publish("../escape", fitted_doc2vec, "x")
+        with pytest.raises(ServiceError):
+            hub.publish("", fitted_doc2vec, "x")
+
+    def test_hub_survives_reopen(self, tmp_path, fitted_doc2vec):
+        root = tmp_path / "hub"
+        ModelHub(root).publish("persisted", fitted_doc2vec, "c")
+        reopened = ModelHub(root)
+        assert reopened.describe("persisted").name == "persisted"
+        assert reopened.fetch("persisted").is_fitted
+
+    def test_fetched_model_serves_transfer_learning(self, hub, fitted_lstm):
+        """A third party embeds queries from a schema the publisher
+        never saw — the Figure 3 transfer path."""
+        hub.publish("public-lstm", fitted_lstm, "generic SQL corpus")
+        foreign = [
+            "select revenue, region from warehouse_facts where year = 2019",
+            "select count(*) from audit_log where action = 'delete'",
+        ]
+        vectors = hub.fetch("public-lstm").transform(foreign)
+        assert vectors.shape == (2, 16)
+        assert np.isfinite(vectors).all()

@@ -1,0 +1,40 @@
+"""Unit tests for the labeled-query data model."""
+
+import pytest
+
+from repro.core import LabeledQuery
+
+
+class TestLabeledQuery:
+    def test_make_and_access(self):
+        message = LabeledQuery.make("select 1", user="alice", ts=5)
+        assert message.query == "select 1"
+        assert message.label("user") == "alice"
+        assert message.label("missing") is None
+        assert message.label("missing", "dflt") == "dflt"
+
+    def test_with_labels_returns_new_instance(self):
+        a = LabeledQuery.make("q", user="alice")
+        b = a.with_labels(cluster="c1")
+        assert a.label("cluster") is None
+        assert b.label("cluster") == "c1"
+        assert b.label("user") == "alice"
+
+    def test_with_labels_overrides(self):
+        a = LabeledQuery.make("q", user="alice")
+        b = a.with_labels(user="bob")
+        assert b.label("user") == "bob"
+
+    def test_labels_are_immutable(self):
+        message = LabeledQuery.make("q", user="alice")
+        with pytest.raises(TypeError):
+            message.labels["user"] = "eve"
+
+    def test_has_label(self):
+        message = LabeledQuery.make("q", a=1)
+        assert message.has_label("a")
+        assert not message.has_label("b")
+
+    def test_as_tuple_sorted_by_name(self):
+        message = LabeledQuery.make("q", zeta=2, alpha=1)
+        assert message.as_tuple() == ("q", 1, 2)

@@ -1,0 +1,118 @@
+"""Unit tests for the labeler adapters and the training module."""
+
+import numpy as np
+import pytest
+
+from repro.core.labeler import ClassifierLabeler, ClusterLabeler
+from repro.core.labeled_query import LabeledQuery
+from repro.core.training import TrainingModule, TrainingSet
+from repro.errors import LabelingError, ServiceError
+from repro.ml.forest import RandomizedForestClassifier
+from repro.ml.kmeans import KMeans
+
+
+@pytest.fixture()
+def xy(rng):
+    x = np.vstack([rng.standard_normal((30, 4)) + 4, rng.standard_normal((30, 4)) - 4])
+    y = ["hot"] * 30 + ["cold"] * 30
+    return x, y
+
+
+class TestClassifierLabeler:
+    def test_fit_predict_arbitrary_labels(self, xy):
+        x, y = xy
+        labeler = ClassifierLabeler(RandomizedForestClassifier(n_trees=5, seed=0))
+        labeler.fit(x, y)
+        predictions = labeler.predict(x)
+        assert set(predictions) <= {"hot", "cold"}
+        assert np.mean([p == t for p, t in zip(predictions, y)]) > 0.9
+
+    def test_predict_before_fit_raises(self):
+        labeler = ClassifierLabeler(RandomizedForestClassifier(n_trees=2))
+        with pytest.raises(LabelingError):
+            labeler.predict(np.zeros((1, 4)))
+
+    def test_empty_fit_raises(self):
+        labeler = ClassifierLabeler(RandomizedForestClassifier(n_trees=2))
+        with pytest.raises(LabelingError):
+            labeler.fit(np.zeros((0, 4)), [])
+
+    def test_predict_proba_and_classes(self, xy):
+        x, y = xy
+        labeler = ClassifierLabeler(RandomizedForestClassifier(n_trees=5, seed=0))
+        labeler.fit(x, y)
+        probs = labeler.predict_proba(x[:5])
+        assert probs.shape == (5, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert sorted(labeler.classes) == ["cold", "hot"]
+
+    def test_predict_proba_unsupported_estimator(self, xy):
+        class Bare:
+            def fit(self, x, y):
+                return self
+
+            def predict(self, x):
+                return np.zeros(len(x), dtype=int)
+
+        x, y = xy
+        labeler = ClassifierLabeler(Bare()).fit(x, y)
+        with pytest.raises(LabelingError):
+            labeler.predict_proba(x)
+
+
+class TestClusterLabeler:
+    def test_labels_are_cluster_ids(self, xy):
+        x, _ = xy
+        labeler = ClusterLabeler(KMeans(n_clusters=2, seed=0))
+        labeler.fit(x)
+        labels = labeler.predict(x)
+        assert set(labels) <= {0, 1}
+        # the two blobs separate
+        assert len(set(labels[:30])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_predict_before_fit_raises(self, xy):
+        x, _ = xy
+        with pytest.raises(LabelingError):
+            ClusterLabeler(KMeans(n_clusters=2)).predict(x)
+
+
+class TestTrainingSets:
+    def test_labels_column_and_missing_label(self):
+        ts = TrainingSet("x")
+        ts.append([LabeledQuery.make("q1", user="a"), LabeledQuery.make("q2", user="b")])
+        assert ts.labels("user") == ["a", "b"]
+        ts.append([LabeledQuery.make("q3")])
+        with pytest.raises(ServiceError):
+            ts.labels("user")
+
+    def test_training_module_get_or_create(self):
+        module = TrainingModule()
+        first = module.training_set("app")
+        second = module.training_set("app")
+        assert first is second
+        assert module.set_names() == ["app"]
+
+    def test_train_classifier_on_empty_set_raises(self, fitted_doc2vec):
+        module = TrainingModule()
+        with pytest.raises(ServiceError):
+            module.train_classifier(
+                "user", fitted_doc2vec, module.training_set("empty")
+            )
+
+    def test_train_without_evaluation(self, fitted_doc2vec, small_corpus):
+        module = TrainingModule(n_folds=3)
+        ts = module.training_set("app")
+        ts.append(
+            [
+                LabeledQuery.make(q, kind="group" if "GROUP" in q.upper() else "scan")
+                for q in small_corpus[:40]
+            ]
+        )
+        classifier, evaluation = module.train_classifier(
+            "kind", fitted_doc2vec, ts, evaluate=False
+        )
+        assert evaluation is None
+        assert not module.evaluations
+        predictions = classifier.predict(small_corpus[:5])
+        assert all(p in ("group", "scan") for p in predictions)

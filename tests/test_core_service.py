@@ -1,0 +1,122 @@
+"""Integration tests for the Querc service layer (Figure 1)."""
+
+import pytest
+
+from repro.core import LabeledQuery, QuercService, QueryClassifier, QWorker
+from repro.core.labeler import ClassifierLabeler
+from repro.errors import ServiceError
+from repro.ml.forest import RandomizedForestClassifier
+from repro.workloads.stream import QueryStream
+
+
+@pytest.fixture(scope="module")
+def service(fitted_doc2vec, snowsim_records):
+    service = QuercService(n_folds=3, seed=0)
+    service.embedders.register(
+        "EmbedderA(X,Y)", fitted_doc2vec, trained_on=("X", "Y")
+    )
+    service.add_application("X")
+    service.add_application("Y")
+    service.add_application("Z", forward_to_database=False)
+    service.import_logs("X", snowsim_records[:400])
+    return service
+
+
+class TestTopology:
+    def test_duplicate_application_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.add_application("X")
+
+    def test_unknown_application_raises(self, service):
+        with pytest.raises(ServiceError):
+            service.application("ghost")
+
+    def test_application_names(self, service):
+        assert service.application_names() == ["X", "Y", "Z"]
+
+    def test_log_sharing_policy_blocks_foreign_embedder(self, service):
+        # embedder trained on (X, Y) data may not serve Z
+        with pytest.raises(ServiceError):
+            service.train_and_deploy(
+                "Z", label_name="account", embedder_name="EmbedderA(X,Y)",
+                training_set_name="X",
+            )
+
+    def test_unfitted_embedder_rejected(self, service):
+        from repro.embedding import Doc2VecEmbedder
+
+        with pytest.raises(ServiceError):
+            service.embedders.register("raw", Doc2VecEmbedder(dimension=4))
+
+
+class TestTrainDeployProcess:
+    def test_train_and_deploy_then_stream(self, service, snowsim_records):
+        deployed = service.train_and_deploy(
+            "X", label_name="account", embedder_name="EmbedderA(X,Y)"
+        )
+        assert deployed.version >= 1
+        assert service.registry.current_version("X", "account") == deployed.version
+
+        stream = QueryStream("X", snowsim_records[400:420], batch_size=5)
+        out = []
+        for batch in stream.batches():
+            out.extend(service.process(batch))
+        assert len(out) == 20
+        assert all(m.has_label("account") for m in out)
+
+    def test_forked_mode_returns_nothing_but_ingests(self, service, fitted_doc2vec, snowsim_records):
+        labeler = ClassifierLabeler(RandomizedForestClassifier(n_trees=3, seed=0))
+        labeler.fit(
+            fitted_doc2vec.transform([r.query for r in snowsim_records[:50]]),
+            [r.account for r in snowsim_records[:50]],
+        )
+        worker = service.application("Z").worker
+        worker.add_classifier(
+            QueryClassifier("account", fitted_doc2vec, labeler)
+        )
+        before = len(service.training.training_set("Z"))
+        stream = QueryStream("Z", snowsim_records[50:60], batch_size=5)
+        for batch in stream.batches():
+            assert service.process(batch) == []  # forked: nothing forwarded
+        assert len(service.training.training_set("Z")) == before + 10
+
+    def test_evaluation_recorded(self, service):
+        assert service.training.evaluations
+        ev = service.training.evaluations[-1]
+        assert 0.0 <= ev.mean_accuracy <= 1.0
+        assert ev.n_folds >= 2
+
+    def test_redeploy_bumps_version(self, service):
+        v1 = service.registry.current_version("X", "account")
+        service.train_and_deploy(
+            "X", label_name="account", embedder_name="EmbedderA(X,Y)"
+        )
+        v2 = service.registry.current_version("X", "account")
+        assert v2 > v1
+        # worker still has exactly one classifier for the label
+        worker = service.application("X").worker
+        labels = [c.label_name for c in worker.classifiers]
+        assert labels.count("account") == 1
+
+
+class TestQWorker:
+    def test_window_bounded(self, fitted_doc2vec):
+        worker = QWorker("W", window_size=8)
+        batch = [LabeledQuery.make(f"select {i}") for i in range(20)]
+        worker.process_batch(batch)
+        assert len(worker.window) == 8
+        assert worker.recent(3)[-1].query == "select 19"
+
+    def test_duplicate_label_classifier_rejected(self, fitted_doc2vec):
+        worker = QWorker("W")
+        labeler = ClassifierLabeler(RandomizedForestClassifier(n_trees=2, seed=0))
+        labeler.fit(fitted_doc2vec.transform(["select 1", "select 2"]), ["a", "b"])
+        worker.add_classifier(QueryClassifier("x", fitted_doc2vec, labeler))
+        with pytest.raises(ServiceError):
+            worker.add_classifier(QueryClassifier("x", fitted_doc2vec, labeler))
+
+    def test_processed_count(self):
+        worker = QWorker("W")
+        worker.process_batch([LabeledQuery.make("q")] * 5)
+        worker.process_batch([LabeledQuery.make("q")] * 2)
+        assert worker.processed_count == 7

@@ -1,0 +1,75 @@
+"""Unit tests for the LSTM autoencoder embedder."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.autoencoder import LSTMAutoencoderEmbedder
+from repro.errors import EmbeddingError, NotFittedError
+
+
+class TestLifecycle:
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LSTMAutoencoderEmbedder(dimension=8).transform(["select 1"])
+
+    def test_output_shape_and_dimension(self, fitted_lstm, small_corpus):
+        out = fitted_lstm.transform(small_corpus[:9])
+        assert out.shape == (9, 16)
+
+    def test_training_reduces_loss(self, fitted_lstm):
+        history = fitted_lstm.loss_history
+        assert len(history) == 4
+        assert history[-1] < history[0]
+
+    def test_reconstruction_loss_requires_fit(self):
+        with pytest.raises(EmbeddingError):
+            LSTMAutoencoderEmbedder(dimension=8).reconstruction_loss(["select 1"])
+
+
+class TestBehaviour:
+    def test_deterministic_given_seed(self, small_corpus):
+        a = LSTMAutoencoderEmbedder(
+            dimension=8, embed_size=8, epochs=2, seed=5
+        ).fit_transform(small_corpus[:30])
+        b = LSTMAutoencoderEmbedder(
+            dimension=8, embed_size=8, epochs=2, seed=5
+        ).fit_transform(small_corpus[:30])
+        assert np.allclose(a, b)
+
+    def test_embedding_is_final_hidden_state_bounded(self, fitted_lstm):
+        out = fitted_lstm.transform(["SELECT col_1 FROM table_1"])
+        # h = o * tanh(c) is bounded by (-1, 1)
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_long_query_truncated_not_crashing(self, fitted_lstm):
+        monster = "SELECT " + ", ".join(f"c{i}" for i in range(500)) + " FROM t"
+        out = fitted_lstm.transform([monster])
+        assert np.isfinite(out).all()
+
+    def test_empty_query_embeds(self, fitted_lstm):
+        out = fitted_lstm.transform([""])
+        assert out.shape == (1, 16)
+        assert np.isfinite(out).all()
+
+    def test_same_query_same_embedding(self, fitted_lstm):
+        q = "SELECT col_2 FROM table_3 WHERE col_2 > 5"
+        a = fitted_lstm.transform([q, q])
+        assert np.allclose(a[0], a[1])
+
+    def test_training_corpus_reconstruction_better_than_random(
+        self, fitted_lstm, small_corpus
+    ):
+        seen = fitted_lstm.reconstruction_loss(small_corpus[:20])
+        garbage = [
+            "zeta omega kappa " + " ".join(["blorp"] * 10) for _ in range(20)
+        ]
+        unseen = fitted_lstm.reconstruction_loss(garbage)
+        assert seen < unseen
+
+    def test_untied_projection_variant_trains(self, small_corpus):
+        emb = LSTMAutoencoderEmbedder(
+            dimension=8, embed_size=8, epochs=2, tie_projection=False, seed=0
+        )
+        out = emb.fit_transform(small_corpus[:30])
+        assert np.isfinite(out).all()
+        assert emb.loss_history[-1] < emb.loss_history[0]

@@ -1,0 +1,83 @@
+"""Unit tests for the bag-of-tokens embedder and the optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.bow import BagOfTokensEmbedder, _truncated_svd_components
+from repro.embedding.optimizers import SGD, Adagrad, Adam, clip_gradients
+from repro.errors import EmbeddingError
+
+
+class TestBagOfTokens:
+    def test_shapes(self, small_corpus):
+        emb = BagOfTokensEmbedder(dimension=10).fit(small_corpus)
+        out = emb.transform(small_corpus[:4])
+        assert out.shape == (4, 10)
+
+    def test_identical_queries_identical_vectors(self, small_corpus):
+        emb = BagOfTokensEmbedder(dimension=10).fit(small_corpus)
+        out = emb.transform([small_corpus[0], small_corpus[0]])
+        assert np.allclose(out[0], out[1])
+
+    def test_token_overlap_drives_similarity(self, small_corpus):
+        emb = BagOfTokensEmbedder(dimension=10).fit(small_corpus)
+        a, b, c = emb.transform(
+            [
+                "SELECT col_1 FROM table_1",
+                "SELECT col_1 FROM table_1 WHERE col_1 > 5",
+                "SELECT * FROM logs_2 LIMIT 3",
+            ]
+        )
+
+        def cos(x, y):
+            return x @ y / (np.linalg.norm(x) * np.linalg.norm(y) + 1e-12)
+
+        assert cos(a, b) > cos(a, c)
+
+    def test_small_corpus_pads_rank(self):
+        emb = BagOfTokensEmbedder(dimension=50, min_count=1)
+        out = emb.fit_transform(["select a from t", "select b from t"])
+        assert out.shape == (2, 50)
+
+    def test_svd_components_orthonormal_ish(self, rng):
+        matrix = rng.standard_normal((40, 30))
+        comps = _truncated_svd_components(matrix, 5, seed=0)
+        gram = comps.T @ comps
+        assert np.allclose(gram, np.eye(5), atol=1e-6)
+
+
+class TestOptimizers:
+    def _quadratic_descends(self, optimizer, steps=200):
+        params = {"w": np.array([5.0, -3.0])}
+        for _ in range(steps):
+            grads = {"w": 2.0 * params["w"]}
+            optimizer.step(params, grads)
+        return float(np.abs(params["w"]).max())
+
+    def test_sgd_descends(self):
+        assert self._quadratic_descends(SGD(learning_rate=0.1)) < 1e-6
+
+    def test_sgd_momentum_descends(self):
+        assert self._quadratic_descends(SGD(learning_rate=0.05, momentum=0.9)) < 1e-3
+
+    def test_adagrad_descends(self):
+        assert self._quadratic_descends(Adagrad(learning_rate=0.5)) < 1e-2
+
+    def test_adam_descends(self):
+        assert self._quadratic_descends(Adam(learning_rate=0.1), steps=400) < 1e-3
+
+    @pytest.mark.parametrize("cls", [SGD, Adagrad, Adam])
+    def test_bad_learning_rate_raises(self, cls):
+        with pytest.raises(EmbeddingError):
+            cls(learning_rate=-1.0)
+
+    def test_clip_gradients_scales_down(self):
+        grads = {"a": np.array([3.0, 4.0])}  # norm 5
+        norm = clip_gradients(grads, max_norm=1.0)
+        assert np.isclose(norm, 5.0)
+        assert np.isclose(np.linalg.norm(grads["a"]), 1.0)
+
+    def test_clip_gradients_noop_below_threshold(self):
+        grads = {"a": np.array([0.3, 0.4])}
+        clip_gradients(grads, max_norm=1.0)
+        assert np.allclose(grads["a"], [0.3, 0.4])

@@ -1,0 +1,78 @@
+"""Unit tests for the Doc2Vec embedder."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.doc2vec import Doc2VecEmbedder
+from repro.errors import EmbeddingError, NotFittedError
+
+
+class TestLifecycle:
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            Doc2VecEmbedder(dimension=8).transform(["select 1"])
+
+    def test_fit_empty_corpus_raises(self):
+        with pytest.raises(EmbeddingError):
+            Doc2VecEmbedder(dimension=8).fit([])
+
+    def test_bad_variant_raises(self):
+        with pytest.raises(EmbeddingError):
+            Doc2VecEmbedder(variant="cbow")
+
+    def test_bad_dimension_raises(self):
+        with pytest.raises(EmbeddingError):
+            Doc2VecEmbedder(dimension=0)
+
+    def test_output_shape(self, small_corpus):
+        emb = Doc2VecEmbedder(dimension=12, epochs=2, seed=0).fit(small_corpus)
+        out = emb.transform(small_corpus[:7])
+        assert out.shape == (7, 12)
+
+    def test_empty_transform(self, fitted_doc2vec):
+        assert fitted_doc2vec.transform([]).shape == (0, 16)
+
+
+class TestSemantics:
+    def test_deterministic_given_seed(self, small_corpus):
+        a = Doc2VecEmbedder(dimension=8, epochs=2, seed=3).fit_transform(small_corpus)
+        b = Doc2VecEmbedder(dimension=8, epochs=2, seed=3).fit_transform(small_corpus)
+        assert np.allclose(a, b)
+
+    def test_transform_deterministic(self, fitted_doc2vec, small_corpus):
+        a = fitted_doc2vec.transform(small_corpus[:5])
+        b = fitted_doc2vec.transform(small_corpus[:5])
+        assert np.allclose(a, b)
+
+    def test_similar_queries_closer_than_dissimilar(self, fitted_doc2vec):
+        # template-mates vs cross-template (training-style queries)
+        q_group = "SELECT col_1, SUM(metric_1) FROM table_1 WHERE col_1 > 3 GROUP BY col_1"
+        q_group2 = "SELECT col_2, SUM(metric_2) FROM table_2 WHERE col_2 > 9 GROUP BY col_2"
+        q_logs = "SELECT * FROM logs_1 WHERE ts >= '2020-01-02' LIMIT 5"
+        va, vb, vc = fitted_doc2vec.transform([q_group, q_group2, q_logs])
+
+        def cos(x, y):
+            return x @ y / (np.linalg.norm(x) * np.linalg.norm(y) + 1e-12)
+
+        assert cos(va, vb) > cos(va, vc)
+
+    def test_unseen_tokens_survive(self, fitted_doc2vec):
+        vec = fitted_doc2vec.transform(["SELECT zzz FROM unseen_table_xyz"])
+        assert np.isfinite(vec).all()
+
+    def test_garbage_text_survives(self, fitted_doc2vec):
+        vec = fitted_doc2vec.transform(["not sql at all \x7f ))) '"])
+        assert vec.shape == (1, 16)
+
+    def test_dm_variant_trains(self, small_corpus):
+        emb = Doc2VecEmbedder(
+            dimension=8, variant="dm", window=3, epochs=2, seed=0
+        )
+        out = emb.fit_transform(small_corpus)
+        assert out.shape == (len(small_corpus), 8)
+        assert np.isfinite(out).all()
+
+    def test_doc_vectors_stored_for_training_corpus(self, small_corpus):
+        emb = Doc2VecEmbedder(dimension=8, epochs=2, seed=0).fit(small_corpus)
+        assert emb.doc_vectors is not None
+        assert emb.doc_vectors.shape == (len(small_corpus), 8)

@@ -1,0 +1,123 @@
+"""Unit tests for the LSTM layer: shapes, masking, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.lstm import LSTMLayer, init_lstm_params
+from repro.errors import EmbeddingError
+
+
+@pytest.fixture()
+def layer_and_params(rng):
+    params = init_lstm_params(3, 4, rng, "enc")
+    return LSTMLayer(3, 4, "enc"), params
+
+
+class TestForward:
+    def test_shapes(self, layer_and_params, rng):
+        layer, params = layer_and_params
+        x = rng.standard_normal((5, 2, 3))
+        mask = np.ones((5, 2))
+        out, h, c = layer.forward(params, x, mask)
+        assert out.shape == (5, 2, 4)
+        assert h.shape == (2, 4) and c.shape == (2, 4)
+
+    def test_wrong_input_size_raises(self, layer_and_params, rng):
+        layer, params = layer_and_params
+        with pytest.raises(EmbeddingError):
+            layer.forward(params, rng.standard_normal((5, 2, 7)), np.ones((5, 2)))
+
+    def test_masked_steps_copy_state(self, layer_and_params, rng):
+        layer, params = layer_and_params
+        x = rng.standard_normal((6, 1, 3))
+        mask = np.ones((6, 1))
+        mask[3:, 0] = 0.0  # sequence really ends at t=2
+        out, h, _ = layer.forward(params, x, mask)
+        # the final h equals the state at the last unmasked step
+        assert np.allclose(out[2, 0], h[0])
+        assert np.allclose(out[3, 0], out[2, 0])
+
+    def test_mask_equivalence_with_short_sequence(self, layer_and_params, rng):
+        layer, params = layer_and_params
+        x = rng.standard_normal((6, 1, 3))
+        mask = np.ones((6, 1))
+        mask[4:, 0] = 0.0
+        _, h_masked, c_masked = layer.forward(params, x, mask)
+        _, h_short, c_short = layer.forward(params, x[:4], np.ones((4, 1)))
+        assert np.allclose(h_masked, h_short)
+        assert np.allclose(c_masked, c_short)
+
+    def test_initial_state_used(self, layer_and_params, rng):
+        layer, params = layer_and_params
+        x = rng.standard_normal((2, 1, 3))
+        mask = np.ones((2, 1))
+        _, h_zero, _ = layer.forward(params, x, mask)
+        h0 = np.full((1, 4), 0.9)
+        c0 = np.full((1, 4), -0.5)
+        _, h_init, _ = layer.forward(params, x, mask, h0=h0, c0=c0)
+        assert not np.allclose(h_zero, h_init)
+
+
+class TestBackward:
+    def test_backward_before_forward_raises(self, layer_and_params):
+        layer, params = layer_and_params
+        with pytest.raises(EmbeddingError):
+            layer.backward(params, {}, None)
+
+    @pytest.mark.parametrize("param_name", ["enc_Wx", "enc_Wh", "enc_b"])
+    def test_numerical_gradient_check(self, layer_and_params, rng, param_name):
+        layer, params = layer_and_params
+        x = rng.standard_normal((5, 2, 3))
+        mask = np.ones((5, 2))
+        mask[3:, 1] = 0.0
+        weight = rng.standard_normal(4)
+
+        def loss():
+            _, h, c = layer.forward(params, x, mask)
+            return float((h @ weight).sum() + 0.5 * (c**2).sum())
+
+        _, h, c = layer.forward(params, x, mask)
+        grads = {}
+        layer.backward(
+            params, grads, None, d_h_final=np.tile(weight, (2, 1)), d_c_final=c.copy()
+        )
+        eps = 1e-6
+        p = params[param_name]
+        flat_index = 1 if p.size > 1 else 0
+        idx = np.unravel_index(flat_index, p.shape)
+        p[idx] += eps
+        up = loss()
+        p[idx] -= 2 * eps
+        down = loss()
+        p[idx] += eps
+        numeric = (up - down) / (2 * eps)
+        assert abs(grads[param_name][idx] - numeric) < 1e-5
+
+    def test_input_gradient_check(self, layer_and_params, rng):
+        layer, params = layer_and_params
+        x = rng.standard_normal((4, 1, 3))
+        mask = np.ones((4, 1))
+        weight = rng.standard_normal(4)
+
+        def loss():
+            _, h, _ = layer.forward(params, x, mask)
+            return float((h @ weight).sum())
+
+        layer.forward(params, x, mask)
+        grads = {}
+        dx, _, _ = layer.backward(
+            params, grads, None, d_h_final=np.tile(weight, (1, 1))
+        )
+        eps = 1e-6
+        x[0, 0, 1] += eps
+        up = loss()
+        x[0, 0, 1] -= 2 * eps
+        down = loss()
+        x[0, 0, 1] += eps
+        assert abs(dx[0, 0, 1] - (up - down) / (2 * eps)) < 1e-6
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        params = init_lstm_params(2, 3, rng, "x")
+        bias = params["x_b"]
+        assert np.all(bias[3:6] == 1.0)
+        assert np.all(bias[:3] == 0.0)

@@ -1,0 +1,76 @@
+"""Unit tests for embedder save/load."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    BagOfTokensEmbedder,
+    Doc2VecEmbedder,
+    LSTMAutoencoderEmbedder,
+    load_embedder,
+    save_embedder,
+)
+from repro.errors import EmbeddingError
+
+
+class TestRoundtrip:
+    def test_doc2vec_roundtrip(self, fitted_doc2vec, small_corpus, tmp_path):
+        path = save_embedder(fitted_doc2vec, tmp_path / "d2v")
+        restored = load_embedder(path)
+        original = fitted_doc2vec.transform(small_corpus[:5])
+        reloaded = restored.transform(small_corpus[:5])
+        assert np.allclose(original, reloaded)
+
+    def test_lstm_roundtrip(self, fitted_lstm, small_corpus, tmp_path):
+        path = save_embedder(fitted_lstm, tmp_path / "lstm")
+        restored = load_embedder(path)
+        original = fitted_lstm.transform(small_corpus[:5])
+        reloaded = restored.transform(small_corpus[:5])
+        assert np.allclose(original, reloaded)
+        assert restored.loss_history == fitted_lstm.loss_history
+
+    def test_bow_roundtrip(self, small_corpus, tmp_path):
+        embedder = BagOfTokensEmbedder(dimension=12).fit(small_corpus)
+        path = save_embedder(embedder, tmp_path / "bow")
+        restored = load_embedder(path)
+        assert np.allclose(
+            embedder.transform(small_corpus[:5]),
+            restored.transform(small_corpus[:5]),
+        )
+
+    def test_suffix_appended(self, fitted_doc2vec, tmp_path):
+        path = save_embedder(fitted_doc2vec, tmp_path / "model")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_restored_model_handles_unseen_queries(
+        self, fitted_lstm, tmp_path
+    ):
+        path = save_embedder(fitted_lstm, tmp_path / "m")
+        restored = load_embedder(path)
+        out = restored.transform(["SELECT brand_new FROM never_seen"])
+        assert np.isfinite(out).all()
+
+
+class TestErrors:
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(EmbeddingError):
+            save_embedder(Doc2VecEmbedder(dimension=4), tmp_path / "x")
+
+    def test_garbage_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, junk=np.zeros(3))
+        with pytest.raises(EmbeddingError):
+            load_embedder(bad)
+
+    def test_unknown_embedder_type_rejected(self, tmp_path, small_corpus):
+        class Custom(LSTMAutoencoderEmbedder):
+            pass
+
+        # subclasses of known types still serialize; a truly foreign
+        # object does not
+        class Foreign:
+            is_fitted = True
+
+        with pytest.raises(EmbeddingError):
+            save_embedder(Foreign(), tmp_path / "f")

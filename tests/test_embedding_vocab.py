@@ -1,0 +1,83 @@
+"""Unit tests for the vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.vocab import RESERVED, Vocabulary
+from repro.errors import EmbeddingError
+
+
+@pytest.fixture()
+def vocab():
+    corpus = [["a", "b", "a"], ["a", "c"], ["b", "a"]]
+    return Vocabulary(corpus)
+
+
+class TestConstruction:
+    def test_reserved_ids_fixed(self, vocab):
+        assert vocab.pad_id == 0
+        assert vocab.unk_id == 1
+        assert vocab.bos_id == 2
+        assert vocab.eos_id == 3
+        for i, tok in enumerate(RESERVED):
+            assert vocab.token_of(i) == tok
+
+    def test_frequency_ordering(self, vocab):
+        # 'a' (4 occurrences) gets the lowest non-reserved id
+        assert vocab.id_of("a") == len(RESERVED)
+
+    def test_deterministic_tie_break(self):
+        v1 = Vocabulary([["x", "y"]])
+        v2 = Vocabulary([["y", "x"]])
+        assert v1.id_of("x") == v2.id_of("x")
+
+    def test_min_count_trims(self):
+        vocab = Vocabulary([["a", "a", "b"]], min_count=2)
+        assert "a" in vocab
+        assert "b" not in vocab
+
+    def test_max_size_caps(self):
+        corpus = [[f"t{i}" for i in range(100)]]
+        vocab = Vocabulary(corpus, max_size=10)
+        assert len(vocab) == 10
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(EmbeddingError):
+            Vocabulary([])
+
+    def test_bad_min_count_raises(self):
+        with pytest.raises(EmbeddingError):
+            Vocabulary([["a"]], min_count=0)
+
+
+class TestEncoding:
+    def test_encode_known_and_unknown(self, vocab):
+        ids = vocab.encode(["a", "zzz", "b"])
+        assert ids[0] == vocab.id_of("a")
+        assert ids[1] == vocab.unk_id
+        assert ids[2] == vocab.id_of("b")
+
+    def test_roundtrip(self, vocab):
+        for token in ("a", "b", "c"):
+            assert vocab.token_of(vocab.id_of(token)) == token
+
+    def test_counts(self, vocab):
+        assert vocab.count_of(vocab.id_of("a")) == 4
+
+
+class TestSamplingTables:
+    def test_negative_table_is_distribution(self, vocab):
+        probs = vocab.negative_sampling_table()
+        assert probs.shape == (len(vocab),)
+        assert np.isclose(probs.sum(), 1.0)
+        assert (probs[: len(RESERVED)] == 0).all()
+
+    def test_subsample_probabilities_bounded(self, vocab):
+        keep = vocab.subsample_keep_probabilities(1e-3)
+        assert ((keep >= 0) & (keep <= 1)).all()
+
+    def test_frequent_tokens_downsampled_more(self):
+        corpus = [["the"] * 50 + ["rare"]] * 20
+        vocab = Vocabulary(corpus)
+        keep = vocab.subsample_keep_probabilities(1e-3)
+        assert keep[vocab.id_of("the")] < keep[vocab.id_of("rare")]

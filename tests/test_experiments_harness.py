@@ -1,0 +1,73 @@
+"""Unit tests for the experiment harness plumbing (config, reporting)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.config import (
+    FULL,
+    QUICK,
+    SECONDS_PER_COST_UNIT,
+    get_scale,
+)
+from repro.experiments.reporting import (
+    PaperComparison,
+    render_series,
+    render_table,
+)
+
+
+class TestConfig:
+    def test_presets_resolve(self):
+        assert get_scale("quick") is QUICK
+        assert get_scale("full") is FULL
+
+    def test_env_var_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert get_scale() is FULL
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert get_scale("quick") is QUICK
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ReproError):
+            get_scale("gigantic")
+
+    def test_full_preset_is_paper_sized(self):
+        assert FULL.tpch_workload_size == 38 * 22
+        assert FULL.cv_folds == 10  # the paper's protocol
+
+    def test_calibration_positive(self):
+        assert SECONDS_PER_COST_UNIT > 0
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        out = render_table(["name", "value"], [["a", 1], ["longer", 2.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+
+    def test_render_table_title(self):
+        out = render_table(["x"], [[1]], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_render_series_columns(self):
+        out = render_series(
+            "t", "x", [1, 2], {"a": [10, 20], "b": [30, 40]}
+        )
+        assert "a" in out and "b" in out and "40" in out
+
+    def test_nan_rendered_as_dash(self):
+        out = render_table(["v"], [[float("nan")]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_paper_comparison_verdicts(self):
+        cmp = PaperComparison("Test")
+        cmp.add("first", "1", "1", True)
+        assert cmp.all_hold
+        cmp.add("second", "2", "3", False)
+        assert not cmp.all_hold
+        rendered = cmp.render()
+        assert "NO" in rendered and "yes" in rendered

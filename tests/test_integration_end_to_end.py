@@ -1,0 +1,135 @@
+"""End-to-end integration: the full Querc pipeline and both experiment
+stacks at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro import Doc2VecEmbedder, QuercService
+from repro.apps.summarization import WorkloadSummarizer
+from repro.experiments.config import ExperimentScale
+from repro.minidb import IndexAdvisor, IndexConfig
+from repro.workloads import QueryStream, SnowSimConfig, generate_snowsim_workload
+
+
+@pytest.fixture(scope="module")
+def mini_scale():
+    return ExperimentScale(
+        name="mini",
+        tpch_instances_per_template=1,
+        tpch_exec_scale=0.004,
+        tpch_virtual_scale=1.0,
+        budgets_minutes=(2.0, 3.0, 10.0),
+        summarizer_k_range=(3, 8),
+        snowsim_pretrain_queries=600,
+        snowsim_labeled_queries=600,
+        cv_folds=3,
+        forest_trees=6,
+        embedding_dim=16,
+        d2v_epochs=3,
+        lstm_epochs=2,
+    )
+
+
+class TestFullPipeline:
+    def test_ingest_train_deploy_label(self, snowsim_records, fitted_doc2vec):
+        service = QuercService(n_folds=3, seed=1)
+        service.embedders.register("shared", fitted_doc2vec)
+        service.add_application("prod")
+        service.import_logs("prod", snowsim_records[:500])
+
+        service.train_and_deploy("prod", "account", "shared")
+        service.train_and_deploy("prod", "cluster", "shared")
+
+        stream = QueryStream("prod", snowsim_records[500:540], batch_size=8)
+        labeled = []
+        for batch in stream.batches():
+            labeled.extend(service.process(batch))
+
+        assert len(labeled) == 40
+        assert all(m.has_label("account") and m.has_label("cluster") for m in labeled)
+        accounts = [m.label("account") for m in labeled]
+        truth = [r.account for r in snowsim_records[500:540]]
+        # the fixture embedder never saw SnowSim text; require only
+        # clearly-above-chance labeling (13 accounts -> chance ~= 8%)
+        assert np.mean([a == t for a, t in zip(accounts, truth)]) > 0.16
+
+    def test_offline_labeling_job(self, snowsim_records, fitted_doc2vec):
+        from repro.ml.kmeans import KMeans
+
+        service = QuercService(seed=0)
+        service.add_application("batch")
+        service.import_logs("batch", snowsim_records[:200])
+        labeled = service.training.offline_label(
+            service.training.training_set("batch"),
+            fitted_doc2vec,
+            KMeans(n_clusters=5, seed=0),
+        )
+        assert len(labeled) == 200
+        clusters = {m.label("cluster") for m in labeled}
+        assert clusters <= set(range(5))
+        assert len(clusters) >= 2
+
+
+class TestExperimentStacks:
+    def test_figure3_mini(self, mini_scale):
+        from repro.experiments import figure3
+
+        result = figure3.run(mini_scale)
+        assert set(result.runtimes) == {
+            "full workload",
+            "doc2vecTPCH",
+            "lstmTPCH",
+            "doc2vecSnowflake",
+            "lstmSnowflake",
+        }
+        for series in result.runtimes.values():
+            assert len(series) == 3
+            assert all(v > 0 for v in series)
+        # below the advisor startup no configuration exists
+        assert result.configs[("full workload", 2.0)] == "<none>"
+
+    def test_figure4_mini(self, mini_scale):
+        from repro.experiments import figure4
+
+        result = figure4.run(mini_scale)
+        assert len(result.no_index) == 22
+        assert len(result.low_budget) == 22
+        lo, hi = result.q18_range
+        assert hi - lo == 1
+
+    def test_table1_mini(self, mini_scale):
+        from repro.experiments import table1
+
+        result = table1.run(mini_scale)
+        for key in (
+            ("Doc2Vec", "account"),
+            ("Doc2Vec", "user"),
+            ("LSTMAutoencoder", "account"),
+            ("LSTMAutoencoder", "user"),
+        ):
+            assert 0.0 <= result.accuracies[key] <= 1.0
+        rendered = result.render()
+        assert "Table 1" in rendered
+
+    def test_table2_mini(self, mini_scale):
+        from repro.experiments import table2
+
+        result = table2.run(mini_scale)
+        assert result.rows
+        assert all(0.0 <= row.accuracy <= 1.0 for row in result.rows)
+        sizes = [row.n_queries for row in result.rows]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestSummarizerAdvisorInterplay:
+    def test_summary_speeds_up_advisor(self, tpch_db, tpch_workload, fitted_doc2vec):
+        advisor = IndexAdvisor(tpch_db)
+        budget = advisor.startup_seconds + 20.0
+
+        full = advisor.recommend(tpch_workload, budget, billing_multiplier=20.0)
+        summary = WorkloadSummarizer(fitted_doc2vec, k=6, seed=0).summarize(
+            list(tpch_workload)
+        )
+        summarized = advisor.recommend(list(summary.queries), budget)
+        # the summarized run completes more greedy rounds in the same budget
+        assert summarized.rounds_completed >= full.rounds_completed

@@ -1,0 +1,94 @@
+"""Unit tests for the anytime index advisor."""
+
+import pytest
+
+from repro.errors import AdvisorError
+from repro.minidb import IndexAdvisor
+from repro.workloads import generate_tpch_workload
+
+
+@pytest.fixture(scope="module")
+def advisor(tpch_db):
+    return IndexAdvisor(tpch_db)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_tpch_workload(instances_per_template=2, seed=7)
+
+
+class TestBudgetBehaviour:
+    def test_below_startup_returns_nothing(self, advisor, workload):
+        report = advisor.recommend(workload, advisor.startup_seconds * 0.5)
+        assert len(report.config) == 0
+        assert report.whatif_calls == 0
+
+    def test_budget_is_honored(self, advisor, workload):
+        budget = advisor.startup_seconds + 5.0
+        report = advisor.recommend(workload, budget)
+        assert report.simulated_seconds <= budget + 1e-9
+
+    def test_more_budget_never_worse_estimated(self, advisor, workload):
+        small = advisor.recommend(workload, advisor.startup_seconds + 10)
+        large = advisor.recommend(workload, advisor.startup_seconds + 600)
+        assert large.est_cost_after <= small.est_cost_after + 1e-6
+
+    def test_larger_budget_more_calls(self, advisor, workload):
+        small = advisor.recommend(workload, advisor.startup_seconds + 5)
+        large = advisor.recommend(workload, advisor.startup_seconds + 100)
+        assert large.whatif_calls >= small.whatif_calls
+
+    def test_billing_multiplier_slows_progress(self, advisor, workload):
+        budget = advisor.startup_seconds + 30
+        plain = advisor.recommend(workload, budget)
+        inflated = advisor.recommend(workload, budget, billing_multiplier=20.0)
+        # fewer real candidate evaluations fit in the same budget
+        assert inflated.whatif_calls / 20.0 <= plain.whatif_calls
+        assert inflated.rounds_completed <= plain.rounds_completed
+
+    def test_picks_recorded_with_timestamps(self, advisor, workload):
+        report = advisor.recommend(workload, advisor.startup_seconds + 600)
+        assert report.picks
+        times = [p.simulated_seconds for p in report.picks]
+        assert times == sorted(times)
+        assert all(p.est_benefit > 0 for p in report.picks)
+
+
+class TestRecommendations:
+    def test_estimated_improvement_positive(self, advisor, workload):
+        report = advisor.recommend(workload, advisor.startup_seconds + 600)
+        assert report.est_cost_after < report.est_cost_before
+
+    def test_summary_workload_converges_fast(self, advisor, workload):
+        summary = workload[::6]
+        report = advisor.recommend(summary, advisor.startup_seconds + 30)
+        # a ~8-query workload completes greedy in a handful of seconds
+        assert report.rounds_completed >= 1
+        assert len(report.config) >= 1
+
+    def test_storage_budget_respected(self, tpch_db, workload):
+        tight = IndexAdvisor(tpch_db, storage_fraction=0.02)
+        report = tight.recommend(workload, tight.startup_seconds + 600)
+        assert report.config.total_size_bytes(
+            tpch_db.catalog
+        ) <= 0.02 * tpch_db.catalog.total_data_bytes() + 1e-6
+
+    def test_unparseable_queries_skipped(self, advisor):
+        report = advisor.recommend(
+            ["DROP TABLE x", "garbage ("], advisor.startup_seconds + 60
+        )
+        assert len(report.config) == 0
+
+
+class TestValidation:
+    def test_empty_workload_raises(self, advisor):
+        with pytest.raises(AdvisorError):
+            advisor.recommend([], 100.0)
+
+    def test_bad_budget_raises(self, advisor, workload):
+        with pytest.raises(AdvisorError):
+            advisor.recommend(workload, 0.0)
+
+    def test_bad_multiplier_raises(self, advisor, workload):
+        with pytest.raises(AdvisorError):
+            advisor.recommend(workload, 100.0, billing_multiplier=-1.0)

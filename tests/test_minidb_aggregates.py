@@ -1,0 +1,96 @@
+"""Deeper aggregate-operator correctness checks against numpy oracles."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="module")
+def li(tpch_db):
+    return tpch_db.table("lineitem").columns
+
+
+class TestCountDistinct:
+    def test_global_count_distinct(self, tpch_db, li):
+        result = tpch_db.execute(
+            "select count(distinct l_suppkey) from lineitem"
+        )
+        assert result.rows[0][0] == len(np.unique(li["l_suppkey"]))
+
+    def test_grouped_count_distinct(self, tpch_db, li):
+        result = tpch_db.execute(
+            "select l_returnflag, count(distinct l_shipmode) as modes "
+            "from lineitem group by l_returnflag"
+        )
+        for flag, modes in result.rows:
+            mask = li["l_returnflag"] == flag
+            assert modes == len(np.unique(li["l_shipmode"][mask]))
+
+
+class TestConditionalAggregates:
+    def test_case_weighted_sum_q12_style(self, tpch_db, li):
+        result = tpch_db.execute(
+            "select sum(case when l_shipmode = 'AIR' then 1 else 0 end) as air "
+            "from lineitem"
+        )
+        assert result.rows[0][0] == int((li["l_shipmode"] == "AIR").sum())
+
+    def test_ratio_of_sums_q14_style(self, tpch_db, li):
+        result = tpch_db.execute(
+            "select 100.0 * sum(case when l_returnflag = 'R' then "
+            "l_extendedprice else 0 end) / sum(l_extendedprice) as pct "
+            "from lineitem"
+        )
+        prices = li["l_extendedprice"]
+        expected = 100.0 * prices[li["l_returnflag"] == "R"].sum() / prices.sum()
+        assert result.rows[0][0] == pytest.approx(expected)
+
+
+class TestGroupingEdgeCases:
+    def test_group_by_expression(self, tpch_db, li):
+        from repro.minidb.storage import days_to_year
+
+        result = tpch_db.execute(
+            "select extract(year from l_shipdate) as y, count(*) as n "
+            "from lineitem group by extract(year from l_shipdate) order by y"
+        )
+        years, counts = np.unique(
+            days_to_year(li["l_shipdate"].astype(np.int64)), return_counts=True
+        )
+        assert [(int(y), int(n)) for y, n in result.rows] == list(
+            zip(years.tolist(), counts.tolist())
+        )
+
+    def test_min_max_per_group(self, tpch_db, li):
+        result = tpch_db.execute(
+            "select l_linestatus, min(l_quantity) as lo, max(l_quantity) as hi "
+            "from lineitem group by l_linestatus"
+        )
+        for status, lo, hi in result.rows:
+            mask = li["l_linestatus"] == status
+            assert lo == li["l_quantity"][mask].min()
+            assert hi == li["l_quantity"][mask].max()
+
+    def test_having_filters_groups(self, tpch_db):
+        all_groups = tpch_db.execute(
+            "select l_suppkey, count(*) as n from lineitem group by l_suppkey"
+        )
+        filtered = tpch_db.execute(
+            "select l_suppkey, count(*) as n from lineitem "
+            "group by l_suppkey having count(*) > 500"
+        )
+        big = [row for row in all_groups.rows if row[1] > 500]
+        assert sorted(filtered.rows) == sorted(big)
+
+    def test_aggregate_of_arithmetic_expression(self, tpch_db, li):
+        result = tpch_db.execute(
+            "select sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) "
+            "from lineitem"
+        )
+        expected = (
+            li["l_extendedprice"] * (1 - li["l_discount"]) * (1 + li["l_tax"])
+        ).sum()
+        assert result.rows[0][0] == pytest.approx(float(expected))
+
+    def test_global_aggregate_single_row(self, tpch_db):
+        result = tpch_db.execute("select min(l_quantity), max(l_quantity) from lineitem")
+        assert result.n_rows == 1

@@ -1,0 +1,104 @@
+"""Unit tests for the TPC-H-like data generator's invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.minidb.datagen import generate_tpch_database
+from repro.minidb.storage import date_to_days
+
+
+class TestReferentialIntegrity:
+    def test_lineitem_orders_fk(self, tpch_db):
+        order_keys = set(tpch_db.table("orders").columns["o_orderkey"].tolist())
+        line_keys = set(tpch_db.table("lineitem").columns["l_orderkey"].tolist())
+        assert line_keys <= order_keys
+        # every order has at least one lineitem (generated per order)
+        assert line_keys == order_keys
+
+    def test_orders_customer_fk(self, tpch_db):
+        cust_keys = set(tpch_db.table("customer").columns["c_custkey"].tolist())
+        order_cust = set(tpch_db.table("orders").columns["o_custkey"].tolist())
+        assert order_cust <= cust_keys
+
+    def test_custkey_never_multiple_of_three(self, tpch_db):
+        order_cust = tpch_db.table("orders").columns["o_custkey"]
+        assert not (order_cust % 3 == 0).any()
+
+    def test_partsupp_fks(self, tpch_db):
+        ps = tpch_db.table("partsupp").columns
+        parts = set(tpch_db.table("part").columns["p_partkey"].tolist())
+        supps = set(tpch_db.table("supplier").columns["s_suppkey"].tolist())
+        assert set(ps["ps_partkey"].tolist()) <= parts
+        assert set(ps["ps_suppkey"].tolist()) <= supps
+
+    def test_nation_region_mapping(self, tpch_db):
+        nations = tpch_db.table("nation").columns
+        assert len(nations["n_nationkey"]) == 25
+        assert set(nations["n_regionkey"].tolist()) <= set(range(5))
+
+
+class TestDateInvariants:
+    def test_date_ordering_per_line(self, tpch_db):
+        li = tpch_db.table("lineitem").columns
+        orders = tpch_db.table("orders").columns
+        order_date = dict(
+            zip(orders["o_orderkey"].tolist(), orders["o_orderdate"].tolist())
+        )
+        ship = li["l_shipdate"]
+        receipt = li["l_receiptdate"]
+        assert (receipt > ship).all()
+        base = np.array([order_date[k] for k in li["l_orderkey"].tolist()])
+        assert (ship > base).all()
+
+    def test_dates_in_spec_window(self, tpch_db):
+        dates = tpch_db.table("orders").columns["o_orderdate"]
+        assert dates.min() >= date_to_days("1992-01-01")
+        assert dates.max() <= date_to_days("1998-08-02")
+
+    def test_returnflag_consistent_with_shipdate(self, tpch_db):
+        li = tpch_db.table("lineitem").columns
+        cutoff = date_to_days("1995-06-17")
+        late = li["l_shipdate"] > cutoff
+        assert (li["l_returnflag"][late] == "N").all()
+        assert (li["l_linestatus"][late] == "O").all()
+
+
+class TestScaling:
+    def test_virtual_multiplier(self):
+        db = generate_tpch_database(exec_scale=0.002, virtual_scale=1.0, seed=0)
+        assert db.catalog.virtual_row_multiplier == pytest.approx(500.0)
+        scaled = db.catalog.scaled_rows("lineitem")
+        assert scaled == db.table("lineitem").n_rows * 500.0
+
+    def test_sizes_scale_linearly(self):
+        small = generate_tpch_database(exec_scale=0.002, seed=0)
+        large = generate_tpch_database(exec_scale=0.004, seed=0)
+        ratio = large.table("orders").n_rows / small.table("orders").n_rows
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_determinism(self):
+        a = generate_tpch_database(exec_scale=0.002, seed=3)
+        b = generate_tpch_database(exec_scale=0.002, seed=3)
+        assert np.array_equal(
+            a.table("lineitem").columns["l_quantity"],
+            b.table("lineitem").columns["l_quantity"],
+        )
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_tpch_database(exec_scale=0.0)
+
+    def test_q18_threshold_band_selectivity(self, tpch_db):
+        """The Figure 4 knob: a few percent of orders exceed the Q18
+        thresholds — far more than the optimizer's 0.1% guess."""
+        li = tpch_db.table("lineitem").columns
+        sums = {}
+        for k, q in zip(li["l_orderkey"].tolist(), li["l_quantity"].tolist()):
+            sums[k] = sums.get(k, 0.0) + q
+        totals = np.array(list(sums.values()))
+        from repro.workloads.tpch import Q18_THRESHOLD_RANGE
+
+        lo_sel = (totals > Q18_THRESHOLD_RANGE[1]).mean()
+        hi_sel = (totals > Q18_THRESHOLD_RANGE[0]).mean()
+        assert 0.01 < lo_sel < hi_sel < 0.30

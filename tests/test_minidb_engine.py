@@ -1,0 +1,197 @@
+"""Engine correctness: SQL results checked against numpy oracles.
+
+These tests execute real queries on the generated TPC-H data and
+verify the rows against direct numpy computation over the raw columns —
+the engine must be *correct*, not just costed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.minidb import IndexConfig, Index
+from repro.minidb.storage import date_to_days
+
+
+@pytest.fixture(scope="module")
+def li(tpch_db):
+    return tpch_db.table("lineitem").columns
+
+
+class TestFilterAggregate:
+    def test_q6_revenue_matches_numpy(self, tpch_db, li):
+        result = tpch_db.execute(
+            "select sum(l_extendedprice * l_discount) as revenue from lineitem "
+            "where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01' "
+            "and l_discount between 0.05 and 0.07 and l_quantity < 24"
+        )
+        lo, hi = date_to_days("1994-01-01"), date_to_days("1995-01-01")
+        mask = (
+            (li["l_shipdate"] >= lo)
+            & (li["l_shipdate"] < hi)
+            & (li["l_discount"] >= 0.05)
+            & (li["l_discount"] <= 0.07)
+            & (li["l_quantity"] < 24)
+        )
+        expected = float((li["l_extendedprice"][mask] * li["l_discount"][mask]).sum())
+        assert result.rows[0][0] == pytest.approx(expected)
+
+    def test_count_star(self, tpch_db, li):
+        result = tpch_db.execute("select count(*) from lineitem")
+        assert result.rows[0][0] == len(li["l_orderkey"])
+
+    def test_group_by_counts_match(self, tpch_db, li):
+        result = tpch_db.execute(
+            "select l_returnflag, count(*) as n from lineitem group by l_returnflag"
+        )
+        got = {flag: int(n) for flag, n in result.rows}
+        values, counts = np.unique(li["l_returnflag"], return_counts=True)
+        assert got == dict(zip([str(v) for v in values], counts.tolist()))
+
+    def test_avg_matches(self, tpch_db, li):
+        result = tpch_db.execute("select avg(l_quantity) from lineitem")
+        assert result.rows[0][0] == pytest.approx(float(li["l_quantity"].mean()))
+
+    def test_empty_result_aggregate(self, tpch_db):
+        result = tpch_db.execute(
+            "select count(*) from lineitem where l_quantity > 9999"
+        )
+        assert result.rows[0][0] == 0
+
+
+class TestJoin:
+    def test_two_way_join_count(self, tpch_db):
+        result = tpch_db.execute(
+            "select count(*) from orders, lineitem where o_orderkey = l_orderkey"
+        )
+        # every lineitem has exactly one order
+        assert result.rows[0][0] == tpch_db.table("lineitem").n_rows
+
+    def test_join_with_filter_matches_numpy(self, tpch_db, li):
+        orders = tpch_db.table("orders").columns
+        result = tpch_db.execute(
+            "select count(*) from orders, lineitem "
+            "where o_orderkey = l_orderkey and o_orderstatus = 'F'"
+        )
+        f_orders = set(orders["o_orderkey"][orders["o_orderstatus"] == "F"].tolist())
+        expected = sum(1 for k in li["l_orderkey"].tolist() if k in f_orders)
+        assert result.rows[0][0] == expected
+
+    def test_join_results_identical_with_and_without_index(self, tpch_db):
+        sql = (
+            "select o_orderpriority, count(*) as n from orders, lineitem "
+            "where o_orderkey = l_orderkey and o_orderdate < date '1995-01-01' "
+            "group by o_orderpriority order by o_orderpriority"
+        )
+        plain = tpch_db.execute(sql)
+        indexed = tpch_db.execute(
+            sql, IndexConfig([Index("lineitem", ("l_orderkey",))])
+        )
+        assert plain.rows == indexed.rows
+
+    def test_left_join_keeps_unmatched(self, tpch_db):
+        # customers whose custkey % 3 == 0 have no orders by construction
+        result = tpch_db.execute(
+            "select c_custkey, count(o_orderkey) as n from customer "
+            "left outer join orders on c_custkey = o_custkey "
+            "group by c_custkey"
+        )
+        counts = {int(k): int(n) for k, n in result.rows}
+        assert len(counts) == tpch_db.table("customer").n_rows
+        zero_customers = [k for k, n in counts.items() if n == 0]
+        assert zero_customers, "expected some order-less customers"
+        assert all(k % 3 == 0 for k in zero_customers)
+
+
+class TestSubqueries:
+    def test_in_subquery_semantics(self, tpch_db, li):
+        threshold = 150
+        result = tpch_db.execute(
+            "select count(*) from orders where o_orderkey in "
+            f"(select l_orderkey from lineitem group by l_orderkey "
+            f"having sum(l_quantity) > {threshold})"
+        )
+        keys = li["l_orderkey"]
+        sums = {}
+        for k, q in zip(keys.tolist(), li["l_quantity"].tolist()):
+            sums[k] = sums.get(k, 0) + q
+        expected = sum(1 for v in sums.values() if v > threshold)
+        assert result.rows[0][0] == expected
+
+    def test_scalar_subquery(self, tpch_db):
+        result = tpch_db.execute(
+            "select count(*) from customer "
+            "where c_acctbal > (select avg(c_acctbal) from customer)"
+        )
+        cust = tpch_db.table("customer").columns
+        expected = int((cust["c_acctbal"] > cust["c_acctbal"].mean()).sum())
+        assert result.rows[0][0] == expected
+
+    def test_exists_correlated(self, tpch_db, li):
+        result = tpch_db.execute(
+            "select count(*) from orders where exists "
+            "(select * from lineitem where l_orderkey = o_orderkey "
+            "and l_quantity > 45)"
+        )
+        hot = set(li["l_orderkey"][li["l_quantity"] > 45].tolist())
+        assert result.rows[0][0] == len(hot)
+
+    def test_not_exists_correlated(self, tpch_db):
+        total = tpch_db.execute("select count(*) from orders").rows[0][0]
+        with_match = tpch_db.execute(
+            "select count(*) from orders where exists "
+            "(select * from lineitem where l_orderkey = o_orderkey)"
+        ).rows[0][0]
+        without = tpch_db.execute(
+            "select count(*) from orders where not exists "
+            "(select * from lineitem where l_orderkey = o_orderkey)"
+        ).rows[0][0]
+        assert with_match + without == total
+
+
+class TestOrderingAndLimit:
+    def test_order_by_desc_limit(self, tpch_db):
+        result = tpch_db.execute(
+            "select o_orderkey, o_totalprice from orders "
+            "order by o_totalprice desc limit 5"
+        )
+        prices = [row[1] for row in result.rows]
+        assert prices == sorted(prices, reverse=True)
+        all_prices = tpch_db.table("orders").columns["o_totalprice"]
+        assert prices[0] == pytest.approx(float(all_prices.max()))
+
+    def test_multi_key_sort(self, tpch_db):
+        result = tpch_db.execute(
+            "select l_returnflag, l_linestatus, count(*) as n from lineitem "
+            "group by l_returnflag, l_linestatus "
+            "order by l_returnflag, l_linestatus"
+        )
+        keys = [(r[0], r[1]) for r in result.rows]
+        assert keys == sorted(keys)
+
+    def test_distinct(self, tpch_db):
+        result = tpch_db.execute("select distinct o_orderstatus from orders")
+        statuses = sorted(r[0] for r in result.rows)
+        expected = sorted(
+            np.unique(tpch_db.table("orders").columns["o_orderstatus"]).tolist()
+        )
+        assert statuses == expected
+
+
+class TestCostAccounting:
+    def test_actual_cost_positive_and_reported(self, tpch_db):
+        result = tpch_db.execute("select count(*) from lineitem")
+        assert result.actual_cost > 0
+        assert result.est_cost > 0
+
+    def test_index_seek_cheaper_for_selective_predicate(self, tpch_db):
+        sql = "select count(*) from orders where o_orderkey = 17"
+        plain = tpch_db.execute(sql)
+        indexed = tpch_db.execute(
+            sql, IndexConfig([Index("orders", ("o_orderkey",))])
+        )
+        assert indexed.rows == plain.rows
+        assert indexed.actual_cost < plain.actual_cost / 10
+
+    def test_explain_mentions_nodes(self, tpch_db):
+        text = tpch_db.explain("select count(*) from lineitem")
+        assert "ScanNode" in text and "AggregateNode" in text

@@ -1,0 +1,78 @@
+"""Unit tests for the executor's joining/grouping helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.minidb.executor import (
+    _composite_codes,
+    _equi_match,
+    _group_codes,
+)
+
+
+class TestEquiMatch:
+    def test_basic_pairs(self):
+        probe = np.array([1, 2, 3, 2])
+        build = np.array([2, 2, 4])
+        probe_idx, build_idx = _equi_match(probe, build)
+        # probe rows 1 and 3 (value 2) each match build rows 0 and 1
+        pairs = sorted(zip(probe_idx.tolist(), build_idx.tolist()))
+        assert pairs == [(1, 0), (1, 1), (3, 0), (3, 1)]
+
+    def test_no_matches(self):
+        probe_idx, build_idx = _equi_match(np.array([1, 2]), np.array([9]))
+        assert len(probe_idx) == 0 and len(build_idx) == 0
+
+    def test_duplicates_both_sides(self):
+        probe = np.array([5, 5])
+        build = np.array([5, 5, 5])
+        probe_idx, _ = _equi_match(probe, build)
+        assert len(probe_idx) == 6  # 2 x 3 cross product on the key
+
+    def test_matches_agree_with_bruteforce(self, rng):
+        probe = rng.integers(0, 20, 200)
+        build = rng.integers(0, 20, 150)
+        probe_idx, build_idx = _equi_match(probe, build)
+        got = set(zip(probe_idx.tolist(), build_idx.tolist()))
+        expected = {
+            (i, j)
+            for i in range(len(probe))
+            for j in range(len(build))
+            if probe[i] == build[j]
+        }
+        assert got == expected
+
+
+class TestCompositeCodes:
+    def test_equal_tuples_equal_codes(self):
+        left = [np.array([1, 1, 2]), np.array(["a", "b", "a"])]
+        right = [np.array([1, 2]), np.array(["b", "a"])]
+        lc, rc = _composite_codes(left, right)
+        assert lc[1] == rc[0]  # (1, 'b') == (1, 'b')
+        assert lc[2] == rc[1]  # (2, 'a') == (2, 'a')
+        assert lc[0] != rc[0]
+
+    def test_mixed_types_ok(self):
+        left = [np.array([1.5, 2.5])]
+        right = [np.array([2.5])]
+        lc, rc = _composite_codes(left, right)
+        assert lc[1] == rc[0]
+
+    def test_mismatched_key_lists_raise(self):
+        with pytest.raises(ExecutionError):
+            _composite_codes([np.array([1])], [])
+
+
+class TestGroupCodes:
+    def test_identical_rows_same_code(self):
+        codes = _group_codes([np.array([1, 1, 2]), np.array(["x", "x", "x"])])
+        assert codes[0] == codes[1]
+        assert codes[0] != codes[2]
+
+    def test_number_of_groups(self, rng):
+        a = rng.integers(0, 3, 100)
+        b = rng.integers(0, 4, 100)
+        codes = _group_codes([a, b])
+        expected = len({(x, y) for x, y in zip(a.tolist(), b.tolist())})
+        assert len(np.unique(codes)) == expected

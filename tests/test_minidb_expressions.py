@@ -1,0 +1,176 @@
+"""Unit tests for vectorized expression evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.minidb.expressions import Frame, evaluate, rewrite_aggregates
+from repro.minidb.storage import date_to_days
+from repro.sql.parser import parse_select
+
+
+def where_of(sql_condition: str):
+    return parse_select(f"select 1 from t where {sql_condition}").where
+
+
+def item_of(sql_expr: str):
+    return parse_select(f"select {sql_expr} from t").items[0].expr
+
+
+@pytest.fixture()
+def frame():
+    return Frame(
+        columns={
+            "t.a": np.array([1.0, 2.0, 3.0, 4.0]),
+            "t.b": np.array([10.0, 20.0, 30.0, 40.0]),
+            "t.s": np.array(["foo", "bar", "foobar", "baz"]),
+            "t.d": np.array(
+                [
+                    date_to_days("1994-01-01"),
+                    date_to_days("1994-06-15"),
+                    date_to_days("1995-01-01"),
+                    date_to_days("1996-01-01"),
+                ]
+            ),
+        },
+        dtypes={"t.a": "float", "t.b": "float", "t.s": "str", "t.d": "date"},
+        n_rows=4,
+    )
+
+
+class TestArithmetic:
+    def test_basic_ops(self, frame):
+        assert evaluate(item_of("a + b"), frame).tolist() == [11, 22, 33, 44]
+        assert evaluate(item_of("b / a"), frame).tolist() == [10, 10, 10, 10]
+        assert evaluate(item_of("a * (1 - 0.5)"), frame).tolist() == [0.5, 1, 1.5, 2]
+
+    def test_division_by_zero_is_nan(self):
+        f = Frame(columns={"t.x": np.array([1.0])}, dtypes={"t.x": "float"}, n_rows=1)
+        out = evaluate(item_of("x / 0"), f)
+        assert np.isnan(out[0])
+
+    def test_unary_minus(self, frame):
+        assert evaluate(item_of("-a"), frame).tolist() == [-1, -2, -3, -4]
+
+
+class TestComparisons:
+    def test_numeric(self, frame):
+        assert evaluate(where_of("a >= 3"), frame).tolist() == [False, False, True, True]
+
+    def test_string_equality(self, frame):
+        assert evaluate(where_of("s = 'bar'"), frame).tolist() == [False, True, False, False]
+
+    def test_date_literal_against_date_column(self, frame):
+        mask = evaluate(where_of("d < date '1995-01-01'"), frame)
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_iso_string_against_date_column(self, frame):
+        mask = evaluate(where_of("d >= '1994-06-15'"), frame)
+        assert mask.tolist() == [False, True, True, True]
+
+    def test_between(self, frame):
+        mask = evaluate(where_of("a between 2 and 3"), frame)
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_in_list(self, frame):
+        mask = evaluate(where_of("a in (1, 4)"), frame)
+        assert mask.tolist() == [True, False, False, True]
+
+    def test_not_in_list(self, frame):
+        mask = evaluate(where_of("a not in (1, 4)"), frame)
+        assert mask.tolist() == [False, True, True, False]
+
+
+class TestLike:
+    def test_prefix(self, frame):
+        assert evaluate(where_of("s like 'foo%'"), frame).tolist() == [
+            True, False, True, False,
+        ]
+
+    def test_contains(self, frame):
+        assert evaluate(where_of("s like '%oba%'"), frame).tolist() == [
+            False, False, True, False,
+        ]
+
+    def test_underscore(self, frame):
+        assert evaluate(where_of("s like 'ba_'"), frame).tolist() == [
+            False, True, False, True,
+        ]
+
+    def test_regex_metachars_escaped(self):
+        f = Frame(
+            columns={"t.s": np.array(["a.b", "axb"])},
+            dtypes={"t.s": "str"},
+            n_rows=2,
+        )
+        assert evaluate(where_of("s like 'a.b'"), f).tolist() == [True, False]
+
+
+class TestLogic:
+    def test_and_or_not(self, frame):
+        mask = evaluate(where_of("a > 1 and not (b >= 40 or s = 'bar')"), frame)
+        assert mask.tolist() == [False, False, True, False]
+
+
+class TestCaseAndFunctions:
+    def test_case_when(self, frame):
+        out = evaluate(
+            item_of("case when a > 2 then 1 else 0 end"), frame
+        )
+        assert out.tolist() == [0, 0, 1, 1]
+
+    def test_case_first_match_wins(self, frame):
+        out = evaluate(
+            item_of("case when a > 1 then 10 when a > 2 then 20 else 0 end"),
+            frame,
+        )
+        assert out.tolist() == [0, 10, 10, 10]
+
+    def test_extract_year(self, frame):
+        out = evaluate(item_of("extract(year from d)"), frame)
+        assert out.tolist() == [1994, 1994, 1995, 1996]
+
+    def test_substring(self, frame):
+        out = evaluate(item_of("substring(s, 1, 2)"), frame)
+        assert out.tolist() == ["fo", "ba", "fo", "ba"]
+
+    def test_aggregate_outside_aggregate_node_raises(self, frame):
+        with pytest.raises(ExecutionError):
+            evaluate(item_of("sum(a)"), frame)
+
+
+class TestResolution:
+    def test_unqualified_resolution(self, frame):
+        mask = evaluate(where_of("a = 1"), frame)
+        assert mask.tolist() == [True, False, False, False]
+
+    def test_unknown_column_raises(self, frame):
+        with pytest.raises(ExecutionError):
+            evaluate(where_of("ghost = 1"), frame)
+
+    def test_ambiguous_column_raises(self):
+        f = Frame(
+            columns={"x.a": np.zeros(1), "y.a": np.zeros(1)},
+            dtypes={},
+            n_rows=1,
+        )
+        with pytest.raises(ExecutionError):
+            evaluate(where_of("a = 0"), f)
+
+
+class TestRewriteAggregates:
+    def test_rewrites_to_synthetic_columns(self):
+        stmt = parse_select("select sum(a) / count(*) from t")
+        expr = stmt.items[0].expr
+        from repro.minidb.expressions import collect_aggregates
+
+        calls = []
+        collect_aggregates(expr, calls)
+        mapping = {c: f"__agg{i}" for i, c in enumerate(calls)}
+        rewritten = rewrite_aggregates(expr, mapping)
+        f = Frame(
+            columns={"__agg0": np.array([10.0]), "__agg1": np.array([5.0])},
+            dtypes={},
+            n_rows=1,
+        )
+        assert evaluate(rewritten, f).tolist() == [2.0]

@@ -1,0 +1,69 @@
+"""Scalar-function coverage in the expression evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.minidb.expressions import Frame, evaluate
+from repro.sql.parser import parse_select
+
+
+def item_of(expr_sql: str):
+    return parse_select(f"select {expr_sql} from t").items[0].expr
+
+
+@pytest.fixture()
+def frame():
+    return Frame(
+        columns={
+            "t.x": np.array([-2.5, 0.0, 3.14159]),
+            "t.s": np.array(["Mixed", "CASE", "lower"]),
+        },
+        dtypes={"t.x": "float", "t.s": "str"},
+        n_rows=3,
+    )
+
+
+class TestFunctions:
+    def test_abs(self, frame):
+        assert evaluate(item_of("abs(x)"), frame).tolist() == [2.5, 0.0, 3.14159]
+
+    def test_round_digits(self, frame):
+        assert evaluate(item_of("round(x, 2)"), frame).tolist() == [-2.5, 0.0, 3.14]
+
+    def test_round_default(self, frame):
+        assert evaluate(item_of("round(x)"), frame).tolist() == [-2.0, 0.0, 3.0]
+
+    def test_upper_lower(self, frame):
+        assert evaluate(item_of("upper(s)"), frame).tolist() == [
+            "MIXED", "CASE", "LOWER",
+        ]
+        assert evaluate(item_of("lower(s)"), frame).tolist() == [
+            "mixed", "case", "lower",
+        ]
+
+    def test_cast_int(self, frame):
+        out = evaluate(item_of("cast(x as int)"), frame)
+        assert out.dtype == np.int64
+        assert out.tolist() == [-2, 0, 3]
+
+    def test_cast_varchar(self, frame):
+        out = evaluate(item_of("cast(x as varchar)"), frame)
+        assert out.dtype.kind == "U"
+
+    def test_coalesce(self):
+        f = Frame(
+            columns={"t.a": np.array([1.0, np.nan]), "t.b": np.array([9.0, 7.0])},
+            dtypes={},
+            n_rows=2,
+        )
+        assert evaluate(item_of("coalesce(a, b)"), f).tolist() == [1.0, 7.0]
+
+    def test_concat_operator(self, frame):
+        out = evaluate(item_of("s || '_tag'"), frame)
+        assert out.tolist() == ["Mixed_tag", "CASE_tag", "lower_tag"]
+
+    def test_unknown_function_raises(self, frame):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            evaluate(item_of("soundex(s)"), frame)

@@ -1,0 +1,121 @@
+"""Unit tests for storage, catalog, and statistics."""
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError
+from repro.minidb.catalog import Catalog, TableMeta, compute_column_stats
+from repro.minidb.storage import (
+    Table,
+    date_to_days,
+    days_to_date,
+    days_to_month,
+    days_to_year,
+    make_column,
+)
+
+
+class TestDates:
+    def test_roundtrip(self):
+        for iso in ("1970-01-01", "1992-06-15", "1998-08-02"):
+            assert days_to_date(date_to_days(iso)).isoformat() == iso
+
+    def test_accepts_date_objects(self):
+        assert date_to_days(datetime.date(1970, 1, 2)) == 1
+
+    def test_vectorized_year_month(self):
+        days = np.array([date_to_days("1994-03-17"), date_to_days("1998-12-31")])
+        assert days_to_year(days).tolist() == [1994, 1998]
+        assert days_to_month(days).tolist() == [3, 12]
+
+
+class TestTable:
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(Exception):
+            Table(
+                name="t",
+                dtypes={"a": "int", "b": "int"},
+                columns={"a": np.zeros(3), "b": np.zeros(2)},
+            )
+
+    def test_unknown_column_raises(self):
+        table = Table(name="t", dtypes={"a": "int"}, columns={"a": np.zeros(2)})
+        with pytest.raises(CatalogError):
+            table.column("zzz")
+
+    def test_make_column_coerces_dates(self):
+        col = make_column("date", ["1970-01-03", "1970-01-01"])
+        assert col.tolist() == [2, 0]
+
+    def test_make_column_rejects_bad_dtype(self):
+        with pytest.raises(CatalogError):
+            make_column("uuid", [1])
+
+    def test_metadata_stats(self):
+        table = Table(
+            name="t",
+            dtypes={"a": "int", "s": "str"},
+            columns={
+                "a": np.array([1, 2, 2, 9]),
+                "s": np.array(["x", "y", "x", "z"]),
+            },
+        )
+        meta = table.metadata()
+        assert meta.row_count == 4
+        assert meta.columns["a"].n_distinct == 3
+        assert meta.columns["a"].min_value == 1
+        assert meta.columns["a"].max_value == 9
+        assert meta.columns["s"].n_distinct == 3
+
+
+class TestColumnStats:
+    def test_range_selectivity_full_range(self):
+        stats = compute_column_stats("a", "int", np.arange(100))
+        assert stats.range_selectivity(None, None) == pytest.approx(1.0, abs=0.05)
+
+    def test_range_selectivity_half(self):
+        stats = compute_column_stats("a", "int", np.arange(100))
+        assert stats.range_selectivity(None, 49) == pytest.approx(0.5, abs=0.1)
+
+    def test_range_selectivity_outside(self):
+        stats = compute_column_stats("a", "int", np.arange(100))
+        assert stats.range_selectivity(1000, None) == 0.0
+
+    def test_equality_selectivity(self):
+        stats = compute_column_stats("a", "int", np.array([1, 1, 2, 3]))
+        assert stats.equality_selectivity() == pytest.approx(1 / 3)
+
+    def test_skewed_histogram_better_than_uniform(self):
+        # 90% of mass at the low end: histogram should notice
+        values = np.concatenate([np.zeros(900), np.linspace(0, 100, 100)])
+        stats = compute_column_stats("a", "float", values)
+        assert stats.range_selectivity(None, 5.0) > 0.8
+
+
+class TestCatalog:
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.add_table(TableMeta(name="t"))
+        with pytest.raises(CatalogError):
+            catalog.add_table(TableMeta(name="t"))
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().table("ghost")
+
+    def test_virtual_multiplier_scales_rows(self):
+        catalog = Catalog(virtual_row_multiplier=100.0)
+        catalog.add_table(TableMeta(name="t", row_count=10))
+        assert catalog.scaled_rows("t") == 1000.0
+
+    def test_bad_multiplier_rejected(self):
+        with pytest.raises(CatalogError):
+            Catalog(virtual_row_multiplier=0.0)
+
+    def test_which_table_resolution(self, tpch_db):
+        catalog = tpch_db.catalog
+        assert catalog.which_table("l_orderkey") == "lineitem"
+        with pytest.raises(CatalogError):
+            catalog.which_table("no_such_col")

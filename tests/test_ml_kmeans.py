@@ -1,0 +1,88 @@
+"""Unit tests for K-means and the elbow method."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LabelingError
+from repro.ml.kmeans import KMeans, choose_k_elbow
+
+
+@pytest.fixture()
+def blobs(rng):
+    centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]])
+    points = np.vstack(
+        [c + rng.standard_normal((50, 2)) for c in centers]
+    )
+    labels = np.repeat(np.arange(3), 50)
+    return points, labels
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, blobs):
+        points, truth = blobs
+        model = KMeans(n_clusters=3, seed=0).fit(points)
+        # cluster ids are arbitrary: check purity instead
+        purity = 0
+        for k in range(3):
+            members = truth[model.labels == k]
+            if len(members):
+                purity += np.bincount(members).max()
+        assert purity / len(points) > 0.95
+
+    def test_predict_matches_fit_labels(self, blobs):
+        points, _ = blobs
+        model = KMeans(n_clusters=3, seed=0).fit(points)
+        assert np.array_equal(model.predict(points), model.labels)
+
+    def test_inertia_decreases_with_k(self, blobs):
+        points, _ = blobs
+        inertias = [
+            KMeans(n_clusters=k, seed=0).fit(points).inertia for k in (1, 2, 3)
+        ]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_k_equals_n_points(self):
+        points = np.arange(8, dtype=float).reshape(4, 2)
+        model = KMeans(n_clusters=4, seed=0).fit(points)
+        assert model.inertia < 1e-12
+
+    def test_too_many_clusters_raises(self):
+        with pytest.raises(LabelingError):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_bad_k_raises(self):
+        with pytest.raises(LabelingError):
+            KMeans(n_clusters=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(LabelingError):
+            KMeans(n_clusters=2).predict(np.zeros((3, 2)))
+
+    def test_duplicate_points_ok(self):
+        points = np.ones((20, 3))
+        model = KMeans(n_clusters=2, seed=0).fit(points)
+        assert model.inertia < 1e-12
+
+    def test_deterministic_given_seed(self, blobs):
+        points, _ = blobs
+        a = KMeans(n_clusters=3, seed=7).fit(points)
+        b = KMeans(n_clusters=3, seed=7).fit(points)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestElbow:
+    def test_finds_three_blobs(self, blobs):
+        points, _ = blobs
+        k, curve = choose_k_elbow(points, 2, 10, seed=0)
+        assert k in (3, 4)  # elbow sits at the true cluster count
+        assert len(curve) >= k - 1
+
+    def test_bounds_validated(self, blobs):
+        points, _ = blobs
+        with pytest.raises(LabelingError):
+            choose_k_elbow(points, 5, 2)
+
+    def test_k_max_capped_by_data(self):
+        points = np.arange(10, dtype=float).reshape(5, 2)
+        k, _ = choose_k_elbow(points, 2, 50, seed=0)
+        assert k <= 5

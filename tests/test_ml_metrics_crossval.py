@@ -1,0 +1,135 @@
+"""Unit tests for metrics, cross-validation, and preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LabelingError
+from repro.ml.crossval import StratifiedKFold, cross_val_score
+from repro.ml.metrics import accuracy_score, confusion_matrix, f1_macro
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.preprocess import LabelEncoder, StandardScaler, train_test_split
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(LabelingError):
+            accuracy_score(np.array([1]), np.array([1, 2]))
+
+    def test_accuracy_empty(self):
+        with pytest.raises(LabelingError):
+            accuracy_score(np.array([]), np.array([]))
+
+    def test_confusion_matrix(self):
+        m = confusion_matrix(np.array([0, 0, 1, 1]), np.array([0, 1, 1, 1]))
+        assert m.tolist() == [[1, 1], [0, 2]]
+
+    def test_f1_perfect(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert f1_macro(y, y) == 1.0
+
+    def test_f1_handles_absent_predictions(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 0, 0, 0])
+        score = f1_macro(y_true, y_pred)
+        assert 0.0 < score < 1.0
+
+
+class TestStratifiedKFold:
+    def test_partitions_everything_once(self):
+        labels = np.array([0] * 10 + [1] * 20)
+        seen = np.zeros(30, dtype=int)
+        for train, test in StratifiedKFold(5, seed=0).split(labels):
+            assert set(train) | set(test) == set(range(30))
+            seen[test] += 1
+        assert (seen == 1).all()
+
+    def test_stratification_preserved(self):
+        labels = np.array([0] * 50 + [1] * 50)
+        for train, test in StratifiedKFold(5, seed=0).split(labels):
+            fraction = labels[test].mean()
+            assert 0.3 <= fraction <= 0.7
+
+    def test_tiny_classes_spread(self):
+        labels = np.array([0] * 20 + [1])  # one lonely member
+        folds = list(StratifiedKFold(5, seed=0).split(labels))
+        assert len(folds) == 5
+
+    def test_bad_splits_raises(self):
+        with pytest.raises(LabelingError):
+            StratifiedKFold(1)
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(LabelingError):
+            list(StratifiedKFold(5).split(np.array([0, 1])))
+
+
+class TestCrossValScore:
+    def test_scores_reasonable_on_separable(self, rng):
+        features = np.vstack(
+            [rng.standard_normal((40, 3)) + 5, rng.standard_normal((40, 3)) - 5]
+        )
+        labels = np.repeat([0, 1], 40)
+        scores = cross_val_score(
+            lambda: KNeighborsClassifier(3), features, labels, n_splits=4
+        )
+        assert len(scores) == 4
+        assert scores.mean() > 0.95
+
+
+class TestPreprocess:
+    def test_label_encoder_roundtrip(self):
+        enc = LabelEncoder()
+        codes = enc.fit_transform(["b", "a", "b", "c"])
+        assert enc.inverse_transform(codes) == ["b", "a", "b", "c"]
+
+    def test_label_encoder_unseen_raises(self):
+        enc = LabelEncoder().fit(["a"])
+        with pytest.raises(LabelingError):
+            enc.transform(["zzz"])
+
+    def test_scaler_zero_mean_unit_variance(self, rng):
+        data = rng.standard_normal((100, 4)) * 7 + 3
+        scaled = StandardScaler().fit_transform(data)
+        assert np.allclose(scaled.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1, atol=1e-9)
+
+    def test_scaler_constant_column_passthrough(self):
+        data = np.ones((10, 2))
+        scaled = StandardScaler().fit_transform(data)
+        assert np.isfinite(scaled).all()
+
+    def test_train_test_split_stratified(self):
+        features = np.arange(40).reshape(20, 2)
+        labels = np.repeat([0, 1], 10)
+        xtr, xte, ytr, yte = train_test_split(features, labels, 0.3, seed=0)
+        assert len(xte) + len(xtr) == 20
+        assert set(np.unique(yte)) == {0, 1}
+
+    def test_train_test_split_bad_fraction(self):
+        with pytest.raises(LabelingError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), 1.5)
+
+
+class TestKNN:
+    def test_majority_vote(self):
+        features = np.array([[0.0], [0.1], [0.2], [10.0], [10.1]])
+        labels = np.array([0, 0, 0, 1, 1])
+        knn = KNeighborsClassifier(3).fit(features, labels)
+        assert knn.predict(np.array([[0.05]]))[0] == 0
+        assert knn.predict(np.array([[10.05]]))[0] == 1
+
+    def test_kneighbors_sorted_by_distance(self):
+        features = np.array([[0.0], [1.0], [5.0]])
+        knn = KNeighborsClassifier(3).fit(features, np.array([0, 1, 2]))
+        dists, idx = knn.kneighbors(np.array([[0.9]]))
+        assert idx[0].tolist() == [1, 0, 2]
+        assert np.all(np.diff(dists[0]) >= 0)
+
+    def test_k_larger_than_data(self):
+        features = np.array([[0.0], [1.0]])
+        knn = KNeighborsClassifier(10).fit(features, np.array([0, 1]))
+        probs = knn.predict_proba(np.array([[0.4]]))
+        assert probs.shape == (1, 2)

@@ -1,0 +1,123 @@
+"""Unit tests for decision trees and randomized forests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LabelingError
+from repro.ml.forest import RandomizedForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+@pytest.fixture()
+def separable(rng):
+    x0 = rng.standard_normal((80, 4)) + np.array([3, 3, 0, 0])
+    x1 = rng.standard_normal((80, 4)) - np.array([3, 3, 0, 0])
+    features = np.vstack([x0, x1])
+    labels = np.repeat([0, 1], 80)
+    return features, labels
+
+
+class TestDecisionTree:
+    def test_fits_separable_data(self, separable):
+        features, labels = separable
+        tree = DecisionTreeClassifier(seed=0).fit(features, labels)
+        assert (tree.predict(features) == labels).mean() > 0.95
+
+    def test_probabilities_sum_to_one(self, separable):
+        features, labels = separable
+        tree = DecisionTreeClassifier(seed=0).fit(features, labels)
+        probs = tree.predict_proba(features)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_max_depth_respected(self, separable):
+        features, labels = separable
+        tree = DecisionTreeClassifier(max_depth=2, seed=0).fit(features, labels)
+        assert tree.depth() <= 2
+
+    def test_pure_node_becomes_leaf(self):
+        features = np.zeros((10, 2))
+        labels = np.zeros(10, dtype=int)
+        tree = DecisionTreeClassifier(seed=0).fit(features, labels)
+        assert tree.depth() == 0
+
+    def test_constant_features_yield_leaf(self):
+        features = np.ones((10, 3))
+        labels = np.array([0, 1] * 5)
+        tree = DecisionTreeClassifier(seed=0).fit(features, labels)
+        assert tree.depth() == 0  # no usable split
+
+    def test_min_samples_leaf(self, separable):
+        features, labels = separable
+        tree = DecisionTreeClassifier(min_samples_leaf=40, seed=0)
+        tree.fit(features, labels)
+        probs = tree.predict_proba(features)
+        assert probs.shape == (160, 2)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(LabelingError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(LabelingError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+    def test_unseen_class_count_via_n_classes(self, separable):
+        features, labels = separable
+        tree = DecisionTreeClassifier(seed=0).fit(features, labels, n_classes=5)
+        assert tree.predict_proba(features).shape == (160, 5)
+
+
+class TestForest:
+    def test_fits_separable_data(self, separable):
+        features, labels = separable
+        forest = RandomizedForestClassifier(n_trees=10, seed=0).fit(features, labels)
+        assert forest.score(features, labels) > 0.97
+
+    def test_better_than_single_tree_on_noisy_data(self, rng):
+        # XOR-ish pattern with noise: ensembles should help
+        n = 400
+        features = rng.standard_normal((n, 6))
+        labels = ((features[:, 0] > 0) ^ (features[:, 1] > 0)).astype(int)
+        features[:, 2:] = rng.standard_normal((n, 4)) * 3
+        train, test = slice(0, 300), slice(300, 400)
+        tree_acc = (
+            DecisionTreeClassifier(max_depth=6, seed=0)
+            .fit(features[train], labels[train])
+            .predict(features[test])
+            == labels[test]
+        ).mean()
+        forest_acc = (
+            RandomizedForestClassifier(n_trees=30, max_depth=6, seed=0)
+            .fit(features[train], labels[train])
+            .predict(features[test])
+            == labels[test]
+        ).mean()
+        assert forest_acc >= tree_acc - 0.02
+
+    def test_deterministic_given_seed(self, separable):
+        features, labels = separable
+        a = RandomizedForestClassifier(n_trees=5, seed=9).fit(features, labels)
+        b = RandomizedForestClassifier(n_trees=5, seed=9).fit(features, labels)
+        assert np.array_equal(a.predict(features), b.predict(features))
+
+    def test_probability_shape_and_simplex(self, separable):
+        features, labels = separable
+        forest = RandomizedForestClassifier(n_trees=5, seed=0).fit(features, labels)
+        probs = forest.predict_proba(features)
+        assert probs.shape == (160, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_bad_n_trees_raises(self):
+        with pytest.raises(LabelingError):
+            RandomizedForestClassifier(n_trees=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(LabelingError):
+            RandomizedForestClassifier().predict(np.zeros((1, 2)))
+
+    def test_without_bootstrap(self, separable):
+        features, labels = separable
+        forest = RandomizedForestClassifier(
+            n_trees=5, bootstrap=False, seed=0
+        ).fit(features, labels)
+        assert forest.score(features, labels) > 0.95

@@ -1,0 +1,238 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding.vocab import RESERVED, Vocabulary
+from repro.ml.kmeans import KMeans
+from repro.ml.metrics import accuracy_score, confusion_matrix
+from repro.ml.preprocess import LabelEncoder
+from repro.sql.lexer import tokenize
+from repro.sql.normalizer import normalize, templatize, token_stream
+from repro.sql.tokens import TokenType
+
+# -- strategies --------------------------------------------------------------
+
+identifier = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+number = st.integers(min_value=0, max_value=10**6)
+string_literal = st.from_regex(r"[a-zA-Z0-9 _%-]{0,12}", fullmatch=True)
+
+
+@st.composite
+def simple_select(draw):
+    """A random but well-formed single-table SELECT."""
+    cols = draw(st.lists(identifier, min_size=1, max_size=4, unique=True))
+    table = draw(identifier)
+    sql = f"select {', '.join(cols)} from {table}"
+    if draw(st.booleans()):
+        col = draw(st.sampled_from(cols))
+        value = draw(number)
+        op = draw(st.sampled_from(["=", "<", ">", "<=", ">=", "<>"]))
+        sql += f" where {col} {op} {value}"
+        if draw(st.booleans()):
+            text = draw(string_literal)
+            sql += f" and {draw(st.sampled_from(cols))} = '{text}'"
+    if draw(st.booleans()):
+        sql += f" limit {draw(st.integers(min_value=1, max_value=1000))}"
+    return sql
+
+
+# -- lexer / normalizer properties ---------------------------------------------------
+
+
+class TestLexerProperties:
+    @given(simple_select())
+    @settings(max_examples=60)
+    def test_lexing_total_and_terminated(self, sql):
+        tokens = tokenize(sql)
+        assert tokens[-1].type is TokenType.EOF
+        assert all(t.value or t.type is TokenType.EOF for t in tokens)
+
+    @given(simple_select())
+    @settings(max_examples=60)
+    def test_normalize_idempotent(self, sql):
+        once = normalize(sql)
+        assert normalize(once) == once
+
+    @given(simple_select())
+    @settings(max_examples=60)
+    def test_templatize_insensitive_to_numeric_literals(self, sql):
+        mutated = sql.replace("1", "7")
+        # mutating digits may change identifiers too; compare via tokens
+        if [t.type for t in tokenize(sql)] == [t.type for t in tokenize(mutated)]:
+            assert templatize(sql) == templatize(mutated) or normalize(
+                sql
+            ) != normalize(mutated)
+
+    @given(simple_select())
+    @settings(max_examples=60)
+    def test_whitespace_invariance(self, sql):
+        if "'" in sql:
+            return  # whitespace inside string literals is significant
+        spaced = sql.replace(" ", "   ")
+        assert normalize(sql) == normalize(spaced)
+
+    @given(simple_select())
+    @settings(max_examples=60)
+    def test_token_stream_matches_template_tokens(self, sql):
+        assert " ".join(token_stream(sql)) == templatize(sql)
+
+
+class TestParserProperties:
+    @given(simple_select())
+    @settings(max_examples=60)
+    def test_random_selects_parse(self, sql):
+        from repro.sql.parser import parse_select
+
+        stmt = parse_select(sql)
+        assert len(stmt.items) >= 1
+        assert len(stmt.relations) == 1
+
+
+# -- vocabulary properties ----------------------------------------------------------
+
+
+class TestVocabularyProperties:
+    @given(
+        st.lists(
+            st.lists(identifier, min_size=1, max_size=8),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50)
+    def test_encode_maps_into_range(self, corpus):
+        vocab = Vocabulary(corpus)
+        for doc in corpus:
+            ids = vocab.encode(doc)
+            assert ((0 <= ids) & (ids < len(vocab))).all()
+
+    @given(
+        st.lists(
+            st.lists(identifier, min_size=1, max_size=8),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50)
+    def test_known_tokens_roundtrip(self, corpus):
+        vocab = Vocabulary(corpus)
+        for doc in corpus:
+            for token in doc:
+                assert vocab.token_of(vocab.id_of(token)) == token
+
+    @given(
+        st.lists(
+            st.lists(identifier, min_size=1, max_size=6),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50)
+    def test_negative_table_sums_to_one(self, corpus):
+        vocab = Vocabulary(corpus)
+        probs = vocab.negative_sampling_table()
+        assert np.isclose(probs.sum(), 1.0)
+        assert (probs[: len(RESERVED)] == 0.0).all()
+
+
+# -- ML properties ---------------------------------------------------------------------
+
+
+class TestKMeansProperties:
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=10, max_value=40),
+        st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_labels_in_range_and_inertia_nonnegative(self, k, n, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((n, 3))
+        model = KMeans(n_clusters=k, seed=seed).fit(data)
+        assert model.labels.shape == (n,)
+        assert ((model.labels >= 0) & (model.labels < k)).all()
+        assert model.inertia >= 0.0
+
+    @given(st.integers(min_value=0, max_value=999))
+    @settings(max_examples=20, deadline=None)
+    def test_inertia_never_increases_with_more_clusters(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((30, 2))
+        i2 = KMeans(n_clusters=2, seed=0, n_init=5).fit(data).inertia
+        i5 = KMeans(n_clusters=5, seed=0, n_init=5).fit(data).inertia
+        assert i5 <= i2 + 1e-6
+
+
+class TestMetricProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=50)
+    )
+    @settings(max_examples=50)
+    def test_perfect_accuracy(self, labels):
+        y = np.asarray(labels)
+        assert accuracy_score(y, y) == 1.0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50),
+        st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=50),
+    )
+    @settings(max_examples=50)
+    def test_confusion_matrix_total(self, a, b):
+        n = min(len(a), len(b))
+        y_true = np.asarray(a[:n])
+        y_pred = np.asarray(b[:n])
+        matrix = confusion_matrix(y_true, y_pred, n_classes=4)
+        assert matrix.sum() == n
+        assert np.trace(matrix) == int((y_true == y_pred).sum())
+
+    @given(st.lists(st.text(min_size=1, max_size=5), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_label_encoder_roundtrip(self, labels):
+        enc = LabelEncoder()
+        codes = enc.fit_transform(labels)
+        assert enc.inverse_transform(codes) == labels
+
+
+# -- engine property: indexes never change results -------------------------------------
+
+
+_PROP_DB = None
+
+
+def _property_db():
+    """Lazily build one tiny database shared by engine property tests."""
+    global _PROP_DB
+    if _PROP_DB is None:
+        from repro.minidb import generate_tpch_database
+
+        _PROP_DB = generate_tpch_database(
+            exec_scale=0.002, virtual_scale=0.002, seed=1
+        )
+    return _PROP_DB
+
+
+class TestEngineProperties:
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.sampled_from(["<", "<=", ">", ">=", "="]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_index_result_invariance_on_random_predicates(self, quantity, op):
+        from repro.minidb import Index, IndexConfig
+
+        db = _property_db()
+        sql = (
+            "select count(*), sum(l_extendedprice) from lineitem "
+            f"where l_quantity {op} {quantity}"
+        )
+        plain = db.execute(sql)
+        indexed = db.execute(
+            sql,
+            IndexConfig(
+                [Index("lineitem", ("l_quantity", "l_extendedprice"))]
+            ),
+        )
+        # assert_equal treats NaN == NaN (empty-group SUM yields NaN)
+        np.testing.assert_equal(plain.rows, indexed.rows)

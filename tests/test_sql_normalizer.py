@@ -1,0 +1,71 @@
+"""Unit tests for normalization and templatization."""
+
+from repro.sql.normalizer import (
+    NUM_PLACEHOLDER,
+    PARAM_PLACEHOLDER,
+    STR_PLACEHOLDER,
+    normalize,
+    templatize,
+    token_stream,
+)
+
+
+class TestNormalize:
+    def test_collapses_whitespace(self):
+        assert normalize("select  1\n\t,2") == "SELECT 1 , 2"
+
+    def test_uppercases_keywords_only(self):
+        out = normalize("select MyCol from MyTable")
+        assert out == "SELECT mycol FROM mytable"
+
+    def test_idempotent(self):
+        q = "select a, b from t where a > 10 and b = 'x'"
+        assert normalize(normalize(q)) == normalize(q)
+
+    def test_case_variants_normalize_identically(self):
+        assert normalize("SELECT A FROM T") == normalize("select a from t")
+
+
+class TestTemplatize:
+    def test_numbers_fold(self):
+        assert NUM_PLACEHOLDER in templatize("select * from t where a = 42")
+        assert "42" not in templatize("select * from t where a = 42")
+
+    def test_strings_fold(self):
+        out = templatize("select * from t where s = 'secret'")
+        assert STR_PLACEHOLDER in out
+        assert "secret" not in out
+
+    def test_parameters_fold(self):
+        out = templatize("select * from t where id = :uid")
+        assert PARAM_PLACEHOLDER in out
+
+    def test_same_template_different_literals_equal(self):
+        a = templatize("select * from t where a = 1 and s = 'x'")
+        b = templatize("select * from t where a = 999 and s = 'yyy'")
+        assert a == b
+
+    def test_different_templates_differ(self):
+        a = templatize("select * from t where a = 1")
+        b = templatize("select * from u where a = 1")
+        assert a != b
+
+
+class TestTokenStream:
+    def test_fold_literals_default(self):
+        tokens = token_stream("select 42, 'x' from t")
+        assert NUM_PLACEHOLDER in tokens
+        assert STR_PLACEHOLDER in tokens
+
+    def test_unfolded_keeps_literals(self):
+        tokens = token_stream("select 42 from t", fold_literals=False)
+        assert "42" in tokens
+
+    def test_identifiers_lowercased(self):
+        tokens = token_stream("select MyCol from T")
+        assert "mycol" in tokens
+        assert "t" in tokens
+
+    def test_punctuation_preserved(self):
+        tokens = token_stream("select a, b from t")
+        assert "," in tokens

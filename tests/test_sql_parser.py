@@ -1,0 +1,233 @@
+"""Unit tests for the SELECT parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse_select
+
+
+class TestProjection:
+    def test_simple_items_and_aliases(self):
+        stmt = parse_select("select a, b as bee, c cee from t")
+        assert [i.output_name for i in stmt.items] == ["a", "bee", "cee"]
+
+    def test_star(self):
+        stmt = parse_select("select * from t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_select("select t.* from t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.items[0].expr.table == "t"
+
+    def test_distinct(self):
+        assert parse_select("select distinct a from t").distinct
+        assert not parse_select("select a from t").distinct
+
+    def test_expression_item(self):
+        stmt = parse_select("select a * (1 - b) as x from t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "*"
+
+
+class TestAggregates:
+    def test_count_star(self):
+        stmt = parse_select("select count(*) from t")
+        call = stmt.items[0].expr
+        assert isinstance(call, ast.FunctionCall) and call.star
+
+    def test_count_distinct(self):
+        stmt = parse_select("select count(distinct a) from t")
+        call = stmt.items[0].expr
+        assert call.distinct
+
+    def test_nested_arithmetic_inside_agg(self):
+        stmt = parse_select("select sum(a * (1 - b)) from t")
+        assert ast.contains_aggregate(stmt.items[0].expr)
+
+
+class TestFromClause:
+    def test_comma_joins(self):
+        stmt = parse_select("select 1 from a, b, c")
+        assert len(stmt.relations) == 3
+
+    def test_alias_with_and_without_as(self):
+        stmt = parse_select("select 1 from orders as o, lineitem l")
+        assert stmt.relations[0].alias == "o"
+        assert stmt.relations[1].alias == "l"
+
+    def test_explicit_join_on(self):
+        stmt = parse_select("select 1 from a join b on a.x = b.y")
+        join = stmt.relations[0]
+        assert isinstance(join, ast.Join) and join.kind == "INNER"
+        assert isinstance(join.condition, ast.BinaryOp)
+
+    def test_left_outer_join(self):
+        stmt = parse_select("select 1 from a left outer join b on a.x = b.y")
+        assert stmt.relations[0].kind == "LEFT"
+
+    def test_derived_table(self):
+        stmt = parse_select("select 1 from (select a from t) as sub")
+        rel = stmt.relations[0]
+        assert isinstance(rel, ast.SubqueryRef) and rel.alias == "sub"
+
+    def test_schema_qualified_table_keeps_last_component(self):
+        stmt = parse_select("select 1 from warehouse.public.orders")
+        assert stmt.relations[0].name == "orders"
+
+    def test_using_clause(self):
+        stmt = parse_select("select 1 from a join b using (k)")
+        join = stmt.relations[0]
+        assert isinstance(join.condition, ast.BinaryOp)
+        assert join.condition.op == "="
+
+
+class TestPredicates:
+    def test_precedence_or_lower_than_and(self):
+        stmt = parse_select("select 1 from t where a = 1 or b = 2 and c = 3")
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_between(self):
+        stmt = parse_select("select 1 from t where a between 1 and 5")
+        assert isinstance(stmt.where, ast.Between)
+
+    def test_not_between(self):
+        stmt = parse_select("select 1 from t where a not between 1 and 5")
+        assert stmt.where.negated
+
+    def test_like_and_not_like(self):
+        assert isinstance(
+            parse_select("select 1 from t where s like 'x%'").where, ast.Like
+        )
+        assert parse_select("select 1 from t where s not like 'x%'").where.negated
+
+    def test_in_list(self):
+        stmt = parse_select("select 1 from t where a in (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InList)
+        assert len(stmt.where.items) == 3
+
+    def test_in_subquery(self):
+        stmt = parse_select("select 1 from t where a in (select b from u)")
+        assert isinstance(stmt.where, ast.InSubquery)
+
+    def test_not_in_subquery(self):
+        stmt = parse_select("select 1 from t where a not in (select b from u)")
+        assert stmt.where.negated
+
+    def test_exists(self):
+        stmt = parse_select(
+            "select 1 from t where exists (select * from u where u.x = t.x)"
+        )
+        assert isinstance(stmt.where, ast.Exists)
+
+    def test_not_exists_wrapped_in_not(self):
+        stmt = parse_select("select 1 from t where not exists (select 1 from u)")
+        assert isinstance(stmt.where, ast.UnaryOp)
+        assert isinstance(stmt.where.operand, ast.Exists)
+
+    def test_is_null_and_is_not_null(self):
+        assert isinstance(
+            parse_select("select 1 from t where a is null").where, ast.IsNull
+        )
+        assert parse_select("select 1 from t where a is not null").where.negated
+
+    def test_scalar_subquery_comparison(self):
+        stmt = parse_select(
+            "select 1 from t where a > (select avg(a) from t)"
+        )
+        assert isinstance(stmt.where.right, ast.ScalarSubquery)
+
+
+class TestClauses:
+    def test_group_by_and_having(self):
+        stmt = parse_select(
+            "select a, count(*) from t group by a having count(*) > 5"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse_select("select a, b from t order by a desc, b asc, a")
+        assert [o.ascending for o in stmt.order_by] == [False, True, True]
+
+    def test_limit(self):
+        assert parse_select("select 1 from t limit 7").limit == 7
+
+    def test_top(self):
+        assert parse_select("select top 3 a from t").limit == 3
+
+    def test_fetch_first(self):
+        assert parse_select("select a from t fetch first 9 rows only").limit == 9
+
+    def test_trailing_semicolon_ok(self):
+        parse_select("select 1 from t;")
+
+
+class TestSpecialExpressions:
+    def test_case_when(self):
+        stmt = parse_select(
+            "select case when a > 1 then 'big' else 'small' end from t"
+        )
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.CaseExpr)
+        assert expr.default is not None
+
+    def test_case_without_else(self):
+        stmt = parse_select("select case when a = 1 then 2 end from t")
+        assert stmt.items[0].expr.default is None
+
+    def test_date_literal(self):
+        stmt = parse_select("select 1 from t where d >= date '1994-01-01'")
+        lit = stmt.where.right
+        assert isinstance(lit, ast.Literal) and lit.kind == "date"
+
+    def test_interval_folds_to_days(self):
+        stmt = parse_select("select interval '3' month from t")
+        lit = stmt.items[0].expr
+        assert isinstance(lit, ast.Literal)
+        assert lit.value == 90
+
+    def test_extract(self):
+        stmt = parse_select("select extract(year from d) from t")
+        call = stmt.items[0].expr
+        assert call.name == "EXTRACT_YEAR"
+
+    def test_cast(self):
+        stmt = parse_select("select cast(a as decimal(12, 2)) from t")
+        assert stmt.items[0].expr.name == "CAST_DECIMAL"
+
+    def test_unary_minus(self):
+        stmt = parse_select("select -a from t")
+        assert isinstance(stmt.items[0].expr, ast.UnaryOp)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "update t set a = 1",
+            "select from t",
+            "select a from t where",
+            "select a from t group a",
+            "select case end from t",
+            "select a from t extra garbage",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_select(bad)
+
+
+class TestReferencedTables:
+    def test_collects_tables_through_subqueries(self):
+        stmt = parse_select(
+            "select 1 from a where x in (select y from b) "
+            "and exists (select 1 from c where c.z = a.z)"
+        )
+        assert set(stmt.referenced_tables()) == {"a", "b", "c"}
+
+    def test_derived_tables_counted(self):
+        stmt = parse_select("select 1 from (select * from inner_t) d")
+        assert stmt.referenced_tables() == ["inner_t"]

@@ -1,0 +1,120 @@
+"""Unit tests for the SnowSim workload generator."""
+
+from collections import Counter, defaultdict
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sql.parser import parse_select
+from repro.workloads import SnowSimConfig, generate_snowsim_workload
+from repro.workloads.snowflake_sim import PAPER_TABLE2_ACCOUNTS
+
+
+@pytest.fixture(scope="module")
+def records():
+    return generate_snowsim_workload(SnowSimConfig(total_queries=2000, seed=5))
+
+
+class TestShape:
+    def test_roughly_requested_size(self, records):
+        assert 1800 <= len(records) <= 2600
+
+    def test_all_accounts_present(self, records):
+        accounts = {r.account for r in records}
+        assert len(accounts) == len(PAPER_TABLE2_ACCOUNTS)
+
+    def test_account_size_proportions_preserved(self, records):
+        counts = Counter(r.account for r in records)
+        ordered = [c for _, c in counts.most_common()]
+        # biggest account dominates like the paper's 73881 vs 1108
+        assert ordered[0] > 5 * ordered[-1]
+
+    def test_timestamps_monotone(self, records):
+        times = [r.timestamp for r in records]
+        assert times == sorted(times)
+        assert times[0] >= 0
+
+    def test_deterministic_given_seed(self):
+        a = generate_snowsim_workload(SnowSimConfig(total_queries=300, seed=9))
+        b = generate_snowsim_workload(SnowSimConfig(total_queries=300, seed=9))
+        assert [r.query for r in a] == [r.query for r in b]
+
+    def test_different_seed_same_schemas(self):
+        a = generate_snowsim_workload(SnowSimConfig(total_queries=300, seed=1))
+        b = generate_snowsim_workload(SnowSimConfig(total_queries=300, seed=2))
+
+        def tables_of(recs):
+            out = set()
+            for r in recs:
+                for word in r.query.split():
+                    if word.startswith("acct"):
+                        out.add(word.strip("(),"))
+            return out
+
+        # same underlying service: schema vocabularies overlap heavily
+        overlap = tables_of(a) & tables_of(b)
+        assert len(overlap) > 0.5 * len(tables_of(a))
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_snowsim_workload(SnowSimConfig(account_profile=()))
+
+
+class TestMechanisms:
+    def test_accounts_use_disjoint_table_names(self, records):
+        by_account = defaultdict(set)
+        for r in records:
+            for word in r.query.replace(",", " ").split():
+                if word.startswith("acct") and "_" in word:
+                    by_account[r.account].add(word)
+        accounts = sorted(by_account)
+        a, b = by_account[accounts[0]], by_account[accounts[1]]
+        assert not (a & b)
+
+    def test_shared_accounts_reuse_texts_across_users(self, records):
+        shared = [r for r in records if r.account == "acct00"]
+        text_users = defaultdict(set)
+        for r in shared:
+            text_users[r.query].add(r.user)
+        multi = sum(1 for users in text_users.values() if len(users) > 1)
+        assert multi / max(1, len(text_users)) > 0.5
+
+    def test_exclusive_account_users_have_distinct_vocab(self, records):
+        exclusive = [r for r in records if r.account == "acct03"]
+        by_user = defaultdict(set)
+        for r in exclusive:
+            by_user[r.user].update(r.query.split())
+        users = sorted(by_user)
+        if len(users) >= 2:
+            jaccard = len(by_user[users[0]] & by_user[users[1]]) / len(
+                by_user[users[0]] | by_user[users[1]]
+            )
+            assert jaccard < 0.9  # habits overlap but are not identical
+
+    def test_queries_parse(self, records):
+        for record in records[:200]:
+            parse_select(record.query)
+
+    def test_labels_populated(self, records):
+        for record in records[:50]:
+            assert record.user.startswith(record.account)
+            assert record.cluster.startswith("cluster_")
+            assert record.runtime_seconds > 0
+            assert record.memory_mb > 0
+
+    def test_errors_exist_and_correlate_with_syntax(self, records):
+        errors = [r for r in records if r.error_code]
+        assert errors
+        oom = [r for r in errors if r.error_code == "OOM"]
+        if oom:  # OOM only comes from join-template queries
+            assert all(" JOIN " in r.query for r in oom)
+
+    def test_misroutes_exist_but_rare(self, records):
+        by_account = defaultdict(Counter)
+        for r in records:
+            by_account[r.account][r.cluster] += 1
+        misroutes = 0
+        for account, clusters in by_account.items():
+            majority = clusters.most_common(1)[0][1]
+            misroutes += sum(clusters.values()) - majority
+        assert 0 < misroutes < 0.05 * len(records)

@@ -1,0 +1,57 @@
+"""Unit tests for query streams and log records."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.logs import QueryLogRecord, labels_of, queries_of
+from repro.workloads.stream import QueryStream
+
+
+@pytest.fixture()
+def records():
+    return [
+        QueryLogRecord(query=f"select {i} from t", timestamp=float(i), user=f"u{i % 3}")
+        for i in range(10)
+    ]
+
+
+class TestLogRecords:
+    def test_label_accessor(self, records):
+        assert records[0].label("user") == "u0"
+        assert records[0].label("query").startswith("select")
+
+    def test_unknown_label_raises(self, records):
+        with pytest.raises(KeyError):
+            records[0].label("nonexistent")
+
+    def test_column_views(self, records):
+        assert queries_of(records)[3] == "select 3 from t"
+        assert labels_of(records, "user")[:3] == ["u0", "u1", "u2"]
+
+    def test_records_immutable(self, records):
+        with pytest.raises(Exception):
+            records[0].user = "hacker"
+
+
+class TestStream:
+    def test_batches_cover_everything_in_order(self, records):
+        stream = QueryStream("X", records, batch_size=3)
+        batches = list(stream.batches())
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+        flat = [r for b in batches for r in b.records]
+        assert flat == records
+
+    def test_time_steps_sequential(self, records):
+        steps = [b.time_step for b in QueryStream("X", records, 4).batches()]
+        assert steps == [0, 1, 2]
+
+    def test_application_attached(self, records):
+        batch = next(QueryStream("appY", records, 5).batches())
+        assert batch.application == "appY"
+
+    def test_bad_batch_size(self, records):
+        with pytest.raises(WorkloadError):
+            QueryStream("X", records, batch_size=0)
+
+    def test_empty_stream(self):
+        assert list(QueryStream("X", [], 4).batches()) == []

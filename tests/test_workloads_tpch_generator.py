@@ -1,0 +1,62 @@
+"""Unit tests for the TPC-H workload generator itself."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sql.parser import parse_select
+from repro.workloads import generate_tpch_workload
+from repro.workloads.tpch import TPCH_TEMPLATE_IDS, tpch_query
+
+
+class TestGeneration:
+    def test_size_and_order(self):
+        workload = generate_tpch_workload(instances_per_template=4, seed=1)
+        assert len(workload) == 88
+
+    def test_deterministic(self):
+        a = generate_tpch_workload(instances_per_template=2, seed=9)
+        b = generate_tpch_workload(instances_per_template=2, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_tpch_workload(instances_per_template=2, seed=1)
+        b = generate_tpch_workload(instances_per_template=2, seed=2)
+        assert a != b
+
+    def test_instances_vary_within_template(self):
+        workload = generate_tpch_workload(instances_per_template=5, seed=3)
+        q6_instances = workload[5 * 5 : 6 * 5]  # template 6 block
+        assert len(set(q6_instances)) > 1
+
+    def test_subset_of_templates(self):
+        workload = generate_tpch_workload(2, seed=0, template_ids=(6, 18))
+        assert len(workload) == 4
+        assert "l_discount" in workload[0]  # Q6
+        assert "sum(l_quantity) > " in workload[2]  # Q18
+
+    def test_bad_template_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_tpch_workload(1, template_ids=(99,))
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_tpch_workload(0)
+
+    @pytest.mark.parametrize("template_id", TPCH_TEMPLATE_IDS)
+    def test_every_template_parses(self, template_id):
+        parse_select(tpch_query(template_id, seed=4))
+
+    def test_no_interval_arithmetic_left_in_text(self):
+        """Date bounds are precomputed to concrete literals, keeping the
+        text dialect-neutral (DESIGN.md substitution note)."""
+        workload = generate_tpch_workload(instances_per_template=1, seed=0)
+        assert not any("interval" in q.lower() for q in workload)
+
+    def test_q18_threshold_inside_configured_band(self):
+        from repro.workloads.tpch import Q18_THRESHOLD_RANGE
+        import re
+
+        for seed in range(5):
+            sql = tpch_query(18, seed=seed)
+            threshold = int(re.search(r"> (\d+)\)", sql).group(1))
+            assert Q18_THRESHOLD_RANGE[0] <= threshold < Q18_THRESHOLD_RANGE[1]
