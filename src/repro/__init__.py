@@ -3,6 +3,8 @@
 Public API surface:
 
 * ``repro.core`` — the Querc service (classifiers, workers, training).
+* ``repro.runtime`` — the vectorized inference hot path: template
+  dedup, shared-embedding batches, and a bounded embedding cache.
 * ``repro.embedding`` — Doc2Vec / LSTM-autoencoder / bag-of-tokens
   query embedders, from scratch in numpy.
 * ``repro.apps`` — the paper's applications (summarization, security
@@ -39,8 +41,9 @@ from repro.embedding import (
     QueryEmbedder,
 )
 from repro.errors import ReproError
+from repro.runtime import EmbeddingCache, InferencePipeline, RuntimeMetrics
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LabeledQuery",
@@ -52,6 +55,9 @@ __all__ = [
     "Doc2VecEmbedder",
     "LSTMAutoencoderEmbedder",
     "BagOfTokensEmbedder",
+    "InferencePipeline",
+    "EmbeddingCache",
+    "RuntimeMetrics",
     "ReproError",
     "__version__",
 ]

@@ -1,0 +1,24 @@
+"""Shared plumbing for the §4 applications."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.pipeline import embed_queries
+
+
+class SharedEmbeddingApp:
+    """Mixin for apps holding an ``embedder`` and optional ``runtime``.
+
+    ``_embed`` routes through the service's shared
+    :class:`~repro.runtime.InferencePipeline` (template dedup + cache)
+    when one is wired in, and falls back to a direct ``transform``
+    otherwise — so every application opts into the batched hot path
+    with a single constructor argument.
+    """
+
+    embedder = None  # set by the subclass constructor
+    runtime = None
+
+    def _embed(self, queries: list[str]) -> np.ndarray:
+        return embed_queries(self.embedder, queries, self.runtime)

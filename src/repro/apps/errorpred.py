@@ -14,18 +14,25 @@ from repro.core.labeler import ClassifierLabeler
 from repro.embedding.base import QueryEmbedder
 from repro.errors import LabelingError
 from repro.ml.forest import RandomizedForestClassifier
+from repro.apps._base import SharedEmbeddingApp
+from repro.runtime.pipeline import InferencePipeline
 from repro.workloads.logs import QueryLogRecord
 
 NO_ERROR = ""
 
 
-class ErrorPredictor:
+class ErrorPredictor(SharedEmbeddingApp):
     """Multi-class error-code prediction (empty code = success)."""
 
     def __init__(
-        self, embedder: QueryEmbedder, n_trees: int = 20, seed: int = 0
+        self,
+        embedder: QueryEmbedder,
+        n_trees: int = 20,
+        seed: int = 0,
+        runtime: InferencePipeline | None = None,
     ) -> None:
         self.embedder = embedder
+        self.runtime = runtime
         self.seed = seed
         self.n_trees = n_trees
         self._labeler: ClassifierLabeler | None = None
@@ -33,7 +40,7 @@ class ErrorPredictor:
     def fit(self, records: list[QueryLogRecord]) -> "ErrorPredictor":
         if not records:
             raise LabelingError("no records to train on")
-        vectors = self.embedder.transform([r.query for r in records])
+        vectors = self._embed([r.query for r in records])
         labels = [r.error_code or NO_ERROR for r in records]
         self._labeler = ClassifierLabeler(
             RandomizedForestClassifier(
@@ -47,13 +54,13 @@ class ErrorPredictor:
         """Predicted error code per query ('' = expected success)."""
         if self._labeler is None:
             raise LabelingError("fit must be called first")
-        return [str(v) for v in self._labeler.predict(self.embedder.transform(queries))]
+        return [str(v) for v in self._labeler.predict(self._embed(queries))]
 
     def risk_scores(self, queries: list[str]) -> np.ndarray:
         """P(any error) per query — the routing hint."""
         if self._labeler is None:
             raise LabelingError("fit must be called first")
-        probs = self._labeler.predict_proba(self.embedder.transform(queries))
+        probs = self._labeler.predict_proba(self._embed(queries))
         classes = self._labeler.classes
         try:
             ok_column = classes.index(NO_ERROR)

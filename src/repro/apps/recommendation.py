@@ -15,9 +15,11 @@ import numpy as np
 from repro.embedding.base import QueryEmbedder
 from repro.errors import LabelingError
 from repro.ml.neighbors import KNeighborsClassifier
+from repro.apps._base import SharedEmbeddingApp
+from repro.runtime.pipeline import InferencePipeline
 
 
-class QueryRecommender:
+class QueryRecommender(SharedEmbeddingApp):
     """History-conditioned nearest-neighbour query recommendation."""
 
     def __init__(
@@ -25,10 +27,12 @@ class QueryRecommender:
         embedder: QueryEmbedder,
         history: int = 3,
         n_neighbors: int = 5,
+        runtime: InferencePipeline | None = None,
     ) -> None:
         if history < 1:
             raise LabelingError("history must be >= 1")
         self.embedder = embedder
+        self.runtime = runtime
         self.history = history
         self.n_neighbors = n_neighbors
         self._knn = KNeighborsClassifier(n_neighbors)
@@ -43,7 +47,7 @@ class QueryRecommender:
         for session in sessions:
             if len(session) < 2:
                 continue
-            vectors = self.embedder.transform(session)
+            vectors = self._embed(session)
             for i in range(1, len(session)):
                 lo = max(0, i - self.history)
                 contexts.append(vectors[lo:i].mean(axis=0))
@@ -62,7 +66,7 @@ class QueryRecommender:
             raise LabelingError("fit must be called first")
         if not recent:
             raise LabelingError("recent history must be non-empty")
-        vectors = self.embedder.transform(recent[-self.history:])
+        vectors = self._embed(recent[-self.history:])
         context = vectors.mean(axis=0, keepdims=True)
         _, idx = self._knn.kneighbors(context)
         suggestions: list[str] = []

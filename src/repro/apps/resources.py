@@ -16,6 +16,8 @@ from repro.core.labeler import ClassifierLabeler
 from repro.embedding.base import QueryEmbedder
 from repro.errors import LabelingError
 from repro.ml.forest import RandomizedForestClassifier
+from repro.apps._base import SharedEmbeddingApp
+from repro.runtime.pipeline import InferencePipeline
 from repro.workloads.logs import QueryLogRecord
 
 RESOURCE_CLASSES = ("light", "standard", "long-running", "memory-intensive")
@@ -33,13 +35,18 @@ def resource_class(runtime_seconds: float, memory_mb: float,
     return "standard"
 
 
-class ResourceAllocator:
+class ResourceAllocator(SharedEmbeddingApp):
     """Speculative resource-class labeling from syntax."""
 
     def __init__(
-        self, embedder: QueryEmbedder, n_trees: int = 20, seed: int = 0
+        self,
+        embedder: QueryEmbedder,
+        n_trees: int = 20,
+        seed: int = 0,
+        runtime: InferencePipeline | None = None,
     ) -> None:
         self.embedder = embedder
+        self.runtime = runtime
         self.seed = seed
         self.n_trees = n_trees
         self._labeler: ClassifierLabeler | None = None
@@ -47,7 +54,7 @@ class ResourceAllocator:
     def fit(self, records: list[QueryLogRecord]) -> "ResourceAllocator":
         if not records:
             raise LabelingError("no records to train on")
-        vectors = self.embedder.transform([r.query for r in records])
+        vectors = self._embed([r.query for r in records])
         labels = [
             resource_class(r.runtime_seconds, r.memory_mb) for r in records
         ]
@@ -62,7 +69,7 @@ class ResourceAllocator:
     def predict(self, queries: list[str]) -> list[str]:
         if self._labeler is None:
             raise LabelingError("fit must be called first")
-        return [str(v) for v in self._labeler.predict(self.embedder.transform(queries))]
+        return [str(v) for v in self._labeler.predict(self._embed(queries))]
 
     def accuracy(self, records: list[QueryLogRecord]) -> float:
         """Holdout accuracy against the buckets derived from true usage."""

@@ -20,6 +20,8 @@ from repro.core.labeler import ClassifierLabeler
 from repro.embedding.base import QueryEmbedder
 from repro.errors import LabelingError
 from repro.ml.forest import RandomizedForestClassifier
+from repro.apps._base import SharedEmbeddingApp
+from repro.runtime.pipeline import InferencePipeline
 from repro.workloads.logs import QueryLogRecord
 
 
@@ -33,13 +35,18 @@ class RoutingFinding:
     confidence: float
 
 
-class RoutingPolicyAuditor:
+class RoutingPolicyAuditor(SharedEmbeddingApp):
     """Learn routing policy from logs; flag suspected misroutes."""
 
     def __init__(
-        self, embedder: QueryEmbedder, n_trees: int = 20, seed: int = 0
+        self,
+        embedder: QueryEmbedder,
+        n_trees: int = 20,
+        seed: int = 0,
+        runtime: InferencePipeline | None = None,
     ) -> None:
         self.embedder = embedder
+        self.runtime = runtime
         self.seed = seed
         self.n_trees = n_trees
         self._labeler: ClassifierLabeler | None = None
@@ -47,7 +54,7 @@ class RoutingPolicyAuditor:
     def fit(self, records: list[QueryLogRecord]) -> "RoutingPolicyAuditor":
         if not records:
             raise LabelingError("no records to train on")
-        vectors = self.embedder.transform([r.query for r in records])
+        vectors = self._embed([r.query for r in records])
         self._labeler = ClassifierLabeler(
             RandomizedForestClassifier(
                 n_trees=self.n_trees, max_depth=14, seed=self.seed
@@ -59,7 +66,7 @@ class RoutingPolicyAuditor:
     def predict_cluster(self, queries: list[str]) -> list:
         if self._labeler is None:
             raise LabelingError("fit must be called first")
-        return self._labeler.predict(self.embedder.transform(queries))
+        return self._labeler.predict(self._embed(queries))
 
     def find_misroutes(
         self, records: list[QueryLogRecord], min_confidence: float = 0.7
@@ -67,7 +74,7 @@ class RoutingPolicyAuditor:
         """Flag records whose assigned cluster looks misconfigured."""
         if self._labeler is None:
             raise LabelingError("fit must be called first")
-        vectors = self.embedder.transform([r.query for r in records])
+        vectors = self._embed([r.query for r in records])
         probs = self._labeler.predict_proba(vectors)
         classes = self._labeler.classes
         best = np.argmax(probs, axis=1)

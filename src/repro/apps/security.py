@@ -22,6 +22,8 @@ from repro.errors import LabelingError
 from repro.ml.crossval import cross_val_score
 from repro.ml.forest import RandomizedForestClassifier
 from repro.ml.preprocess import LabelEncoder
+from repro.apps._base import SharedEmbeddingApp
+from repro.runtime.pipeline import InferencePipeline
 from repro.workloads.logs import QueryLogRecord
 
 
@@ -35,7 +37,7 @@ class AuditFinding:
     confidence: float  # probability mass on the predicted user
 
 
-class SecurityAuditor:
+class SecurityAuditor(SharedEmbeddingApp):
     """User/account labeling plus mismatch flagging."""
 
     def __init__(
@@ -44,8 +46,10 @@ class SecurityAuditor:
         n_trees: int = 20,
         max_depth: int | None = 16,
         seed: int = 0,
+        runtime: InferencePipeline | None = None,
     ) -> None:
         self.embedder = embedder
+        self.runtime = runtime
         self.seed = seed
         self._forest_params = dict(n_trees=n_trees, max_depth=max_depth)
         self._user_labeler: ClassifierLabeler | None = None
@@ -60,7 +64,7 @@ class SecurityAuditor:
         """Train user and account labelers from ground-truth logs."""
         if not records:
             raise LabelingError("no records to train on")
-        vectors = self.embedder.transform([r.query for r in records])
+        vectors = self._embed([r.query for r in records])
         self._user_labeler = ClassifierLabeler(self._make_estimator())
         self._user_labeler.fit(vectors, [r.user for r in records])
         self._account_labeler = ClassifierLabeler(self._make_estimator())
@@ -78,7 +82,7 @@ class SecurityAuditor:
         """k-fold CV accuracy of labeling ``label`` from syntax alone."""
         if label not in ("user", "account", "cluster"):
             raise LabelingError(f"unsupported label {label!r}")
-        vectors = self.embedder.transform([r.query for r in records])
+        vectors = self._embed([r.query for r in records])
         encoder = LabelEncoder()
         codes = encoder.fit_transform([r.label(label) for r in records])
         return cross_val_score(
@@ -93,7 +97,7 @@ class SecurityAuditor:
         """Flag queries whose predicted user contradicts the claimed one."""
         if self._user_labeler is None:
             raise LabelingError("fit must be called before audit")
-        vectors = self.embedder.transform([r.query for r in records])
+        vectors = self._embed([r.query for r in records])
         probs = self._user_labeler.predict_proba(vectors)
         classes = self._user_labeler.classes
         best = np.argmax(probs, axis=1)
@@ -115,9 +119,9 @@ class SecurityAuditor:
     def predict_account(self, queries: list[str]) -> list:
         if self._account_labeler is None:
             raise LabelingError("fit must be called before predict_account")
-        return self._account_labeler.predict(self.embedder.transform(queries))
+        return self._account_labeler.predict(self._embed(queries))
 
     def predict_user(self, queries: list[str]) -> list:
         if self._user_labeler is None:
             raise LabelingError("fit must be called before predict_user")
-        return self._user_labeler.predict(self.embedder.transform(queries))
+        return self._user_labeler.predict(self._embed(queries))

@@ -17,6 +17,8 @@ import numpy as np
 from repro.embedding.base import QueryEmbedder
 from repro.errors import LabelingError
 from repro.ml.kmeans import KMeans, choose_k_elbow
+from repro.apps._base import SharedEmbeddingApp
+from repro.runtime.pipeline import InferencePipeline
 from repro.sql.features import SyntacticFeatureExtractor
 
 
@@ -31,7 +33,7 @@ class SummaryResult:
     cluster_sizes: tuple[int, ...]
 
 
-class WorkloadSummarizer:
+class WorkloadSummarizer(SharedEmbeddingApp):
     """Select a representative subset of a workload via embeddings."""
 
     def __init__(
@@ -40,8 +42,10 @@ class WorkloadSummarizer:
         k: int | None = None,
         k_range: tuple[int, int] = (4, 40),
         seed: int = 0,
+        runtime: InferencePipeline | None = None,
     ) -> None:
         self.embedder = embedder
+        self.runtime = runtime
         self.k = k
         self.k_range = k_range
         self.seed = seed
@@ -50,7 +54,7 @@ class WorkloadSummarizer:
         """Pick one witness query per K-means cluster."""
         if not workload:
             raise LabelingError("cannot summarize an empty workload")
-        vectors = self.embedder.transform(workload)
+        vectors = self._embed(workload)
 
         inertia_curve: tuple[float, ...] = ()
         k = self.k

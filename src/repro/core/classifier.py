@@ -43,8 +43,22 @@ class QueryClassifier:
         """Predicted labels for raw query texts."""
         return self.labeler.predict(self.embedder.transform(queries))
 
+    def predict_vectors(self, vectors: np.ndarray) -> list:
+        """Predicted labels from precomputed embedding vectors.
+
+        The vectors-in half of the runtime pipeline: the embedder is
+        consulted only to validate the shape, so one shared embedding
+        pass can serve every classifier on a worker.
+        """
+        return self.labeler.predict(self.embedder.validate_vectors(vectors))
+
     def label_batch(self, batch: list[LabeledQuery]) -> list[LabeledQuery]:
-        """Apply to a message batch, attaching predictions."""
+        """Apply to a message batch, attaching predictions.
+
+        This is the legacy per-classifier path: it re-embeds the full
+        batch. Hot-path callers go through
+        :class:`repro.runtime.InferencePipeline` instead.
+        """
         if not batch:
             return []
         predictions = self.predict([m.query for m in batch])

@@ -14,7 +14,8 @@ embedder — the transfer-learning path of Figure 3 as a product.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, fields
 from pathlib import Path
 
 from repro.embedding.persistence import load_embedder, save_embedder
@@ -33,6 +34,23 @@ class PublishedModel:
     corpus_description: str
     publisher: str
     filename: str
+
+    @classmethod
+    def from_entry(cls, entry: dict) -> "PublishedModel":
+        """Build from a raw index entry, ignoring unknown keys.
+
+        Newer hub versions may add index fields; older readers must
+        keep working against them (forward compatibility). A missing
+        required field is index corruption and surfaces as
+        :class:`ServiceError`, like any other corrupt index.
+        """
+        known = {f.name for f in fields(cls)}
+        try:
+            return cls(**{k: v for k, v in entry.items() if k in known})
+        except TypeError as exc:
+            raise ServiceError(
+                f"corrupt hub index entry {entry.get('name', '<unnamed>')!r}: {exc}"
+            ) from exc
 
 
 class ModelHub:
@@ -80,13 +98,13 @@ class ModelHub:
     def list_models(self) -> list[PublishedModel]:
         """All published models, sorted by name."""
         index = self._load_index()
-        return [PublishedModel(**index[name]) for name in sorted(index)]
+        return [PublishedModel.from_entry(index[name]) for name in sorted(index)]
 
     def describe(self, name: str) -> PublishedModel:
         index = self._load_index()
         if name not in index:
             raise ServiceError(f"unknown model {name!r}")
-        return PublishedModel(**index[name])
+        return PublishedModel.from_entry(index[name])
 
     def fetch(self, name: str):
         """Load the published embedder, ready to transform queries."""
@@ -105,4 +123,9 @@ class ModelHub:
             raise ServiceError(f"corrupt hub index at {path}") from exc
 
     def _save_index(self, index: dict) -> None:
-        (self._root / _INDEX_FILE).write_text(json.dumps(index, indent=2))
+        # write-then-rename: a crash mid-publish must never leave a
+        # truncated index.json behind
+        path = self._root / _INDEX_FILE
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(index, indent=2))
+        os.replace(tmp, path)

@@ -17,10 +17,17 @@ from collections.abc import Callable
 from repro.core.classifier import QueryClassifier
 from repro.core.labeled_query import LabeledQuery
 from repro.errors import ServiceError
+from repro.runtime.pipeline import InferencePipeline
 
 
 class QWorker:
-    """Runs every registered classifier over each incoming batch."""
+    """Runs every registered classifier over each incoming batch.
+
+    Batches go through a shared :class:`InferencePipeline`, so the
+    worker embeds each batch once per distinct embedder (over unique
+    templates only) instead of once per classifier. The service wires
+    all its workers to one pipeline; a stand-alone worker gets its own.
+    """
 
     def __init__(
         self,
@@ -28,6 +35,7 @@ class QWorker:
         classifiers: list[QueryClassifier] | None = None,
         window_size: int = 64,
         forward_to_database: bool = True,
+        pipeline: InferencePipeline | None = None,
     ) -> None:
         if not application:
             raise ServiceError("application name must be non-empty")
@@ -35,6 +43,7 @@ class QWorker:
         self._classifiers: list[QueryClassifier] = list(classifiers or [])
         self.window: deque[LabeledQuery] = deque(maxlen=window_size)
         self.forward_to_database = forward_to_database
+        self.pipeline = pipeline if pipeline is not None else InferencePipeline()
         self.processed_count = 0
         self._sinks: list[Callable[[str, list[LabeledQuery]], None]] = []
 
@@ -73,13 +82,22 @@ class QWorker:
         database when the worker is on the critical path (or dropped
         when ``forward_to_database`` is False, the forked mode).
         """
-        labeled = list(batch)
-        for classifier in self._classifiers:
-            labeled = classifier.label_batch(labeled)
+        labeled = self.pipeline.run(list(batch), self._classifiers)
         self.window.extend(labeled)
         self.processed_count += len(labeled)
+        errors: list[Exception] = []
         for sink in self._sinks:
-            sink(self.application, labeled)
+            try:
+                sink(self.application, labeled)
+            except Exception as exc:  # noqa: BLE001 - isolate sinks from each other
+                errors.append(exc)
+        if errors:
+            # every sink saw the batch; only now surface what failed
+            detail = "; ".join(f"{type(e).__name__}: {e}" for e in errors)
+            raise ServiceError(
+                f"{len(errors)} of {len(self._sinks)} sink(s) failed for "
+                f"worker {self.application!r}: {detail}"
+            ) from errors[0]
         return labeled if self.forward_to_database else []
 
     def recent(self, n: int) -> list[LabeledQuery]:

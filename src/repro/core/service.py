@@ -19,6 +19,8 @@ from repro.core.labeled_query import LabeledQuery
 from repro.core.qworker import QWorker
 from repro.core.training import TrainingModule
 from repro.errors import ServiceError
+from repro.runtime.cache import EmbeddingCache
+from repro.runtime.pipeline import InferencePipeline
 from repro.workloads.logs import QueryLogRecord
 from repro.workloads.stream import StreamBatch
 
@@ -36,10 +38,17 @@ class Application:
 class QuercService:
     """Top-level service object users interact with."""
 
-    def __init__(self, n_folds: int = 10, seed: int = 0) -> None:
+    def __init__(
+        self, n_folds: int = 10, seed: int = 0, cache_capacity: int = 4096
+    ) -> None:
         self.embedders = EmbedderRegistry()
         self.training = TrainingModule(n_folds=n_folds, seed=seed)
         self.registry = ModelRegistry()
+        # one pipeline for the whole service: embedders are shared
+        # across applications, so their template-vector cache is too
+        self.runtime = InferencePipeline(
+            cache=EmbeddingCache(capacity=cache_capacity)
+        )
         self._applications: dict[str, Application] = {}
 
     # -- topology -----------------------------------------------------------------
@@ -58,6 +67,7 @@ class QuercService:
             application=name,
             window_size=window_size,
             forward_to_database=forward_to_database,
+            pipeline=self.runtime,
         )
         worker.add_sink(self.training.ingest)
         app = Application(name=name, worker=worker, database=database or f"DB({name})")
@@ -126,6 +136,21 @@ class QuercService:
         app = self.application(batch.application)
         messages = [_to_message(record) for record in batch.records]
         return app.worker.process_batch(messages)
+
+    def stats(self) -> dict:
+        """Operational snapshot of the inference runtime.
+
+        Includes per-stage timings, embedder ``transform`` call count,
+        cache hit rate / occupancy, batch dedup ratio, and per-
+        application processed counts.
+        """
+        return {
+            "runtime": self.runtime.snapshot(),
+            "applications": {
+                name: app.worker.processed_count
+                for name, app in sorted(self._applications.items())
+            },
+        }
 
     def import_logs(self, application: str, records: list[QueryLogRecord]) -> int:
         """Periodic log import: ground-truth labels for training (§2).

@@ -14,7 +14,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.errors import EmbeddingError, NotFittedError
-from repro.sql.normalizer import token_stream
+from repro.sql.normalizer import fingerprint_token_stream, safe_token_stream
 
 
 class QueryEmbedder(abc.ABC):
@@ -31,6 +31,7 @@ class QueryEmbedder(abc.ABC):
         self._dimension = int(dimension)
         self._seed = int(seed)
         self._fitted = False
+        self._fit_generation = 0
 
     # -- public API ------------------------------------------------------------
 
@@ -43,12 +44,19 @@ class QueryEmbedder(abc.ABC):
     def is_fitted(self) -> bool:
         return self._fitted
 
+    @property
+    def fit_generation(self) -> int:
+        """Bumped on every (re)fit; embedding caches key on it so a
+        refit embedder can never serve vectors from an earlier fit."""
+        return self._fit_generation
+
     def fit(self, corpus: Sequence[str]) -> "QueryEmbedder":
         """Train the representation model on raw query texts."""
         if len(corpus) == 0:
             raise EmbeddingError("cannot fit an embedder on an empty corpus")
         self._fit_tokenized([self.tokenize(q) for q in corpus])
         self._fitted = True
+        self._fit_generation += 1
         return self
 
     def transform(self, queries: Sequence[str]) -> np.ndarray:
@@ -82,10 +90,35 @@ class QueryEmbedder(abc.ABC):
         Lexically broken queries degrade to whitespace tokens rather
         than raising: Querc must embed anything the log contains.
         """
-        try:
-            return token_stream(query, fold_literals=True)
-        except Exception:  # noqa: BLE001 - logs contain garbage; stay total
-            return query.split()
+        return safe_token_stream(query, fold_literals=True)
+
+    def fingerprint(self, query: str) -> str:
+        """Template fingerprint of the exact token sequence ``transform``
+        would consume — derived from ``self.tokenize``, so a subclass
+        with custom tokenization automatically keys caches on what it
+        actually embeds. Equal fingerprints imply equal embeddings for
+        deterministic embedders, so the runtime layer may cache/dedup
+        by this key."""
+        return fingerprint_token_stream(self.tokenize(query))
+
+    def fingerprints(self, queries: Sequence[str]) -> list[str]:
+        """Per-query template fingerprints (see :meth:`fingerprint`)."""
+        return [self.fingerprint(q) for q in queries]
+
+    def validate_vectors(self, vectors: np.ndarray) -> np.ndarray:
+        """Vectors-in entry point: check precomputed embeddings fit this
+        embedder's output space so labelers can consume them directly.
+
+        Returns the array as float64 of shape (n, dimension); raises
+        :class:`EmbeddingError` on a shape mismatch.
+        """
+        out = np.asarray(vectors, dtype=np.float64)
+        if out.ndim != 2 or out.shape[1] != self._dimension:
+            raise EmbeddingError(
+                f"precomputed vectors have shape {out.shape}, expected "
+                f"(n, {self._dimension})"
+            )
+        return out
 
     # -- subclass hooks ----------------------------------------------------------
 

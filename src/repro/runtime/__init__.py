@@ -1,0 +1,25 @@
+"""Vectorized inference runtime — the shared hot path under Qworkers.
+
+The paper's Figure 1 places Qworkers on the query critical path, which
+makes per-query inference cost the system's scalability ceiling. This
+package is the answer: a batch :class:`InferencePipeline` that
+deduplicates each batch by literal-folded template fingerprint, embeds
+only cache-missing templates with **one** ``transform`` call per
+distinct embedder, and fans the shared vectors out to every
+classifier. A bounded :class:`EmbeddingCache` carries template vectors
+across batches and workers; :class:`RuntimeMetrics` exposes per-stage
+timings, cache hit rate, and dedup ratio through
+``QuercService.stats()``.
+"""
+
+from repro.runtime.cache import EmbeddingCache
+from repro.runtime.metrics import STAGES, RuntimeMetrics
+from repro.runtime.pipeline import InferencePipeline, embed_queries
+
+__all__ = [
+    "EmbeddingCache",
+    "RuntimeMetrics",
+    "STAGES",
+    "InferencePipeline",
+    "embed_queries",
+]

@@ -1,0 +1,90 @@
+"""Bounded LRU cache of template embeddings.
+
+Production workloads collapse onto a small set of query templates
+(LearnedWMP observes this directly), so the vector for a template —
+keyed by ``(embedder_name, template_fingerprint)`` — is worth keeping
+hot. The cache is bounded and LRU-evicting so a worker serving a
+long-tailed workload cannot grow without limit, and thread-safe so one
+cache can back every Qworker in a service.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import ServiceError
+
+CacheKey = tuple[str, str]  # (embedder_name, template_fingerprint)
+
+
+class EmbeddingCache:
+    """LRU map from (embedder_name, fingerprint) to an embedding vector."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ServiceError("cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._data: OrderedDict[CacheKey, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, embedder_name: str, fingerprint: str) -> np.ndarray | None:
+        """The cached vector, refreshed as most-recently-used, or None."""
+        key = (embedder_name, fingerprint)
+        with self._lock:
+            vector = self._data.get(key)
+            if vector is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return vector
+
+    def put(self, embedder_name: str, fingerprint: str, vector: np.ndarray) -> None:
+        """Insert (or refresh) one template vector, evicting LRU entries."""
+        frozen = np.array(vector, dtype=np.float64, copy=True)
+        frozen.setflags(write=False)  # cached rows are shared; never mutate
+        key = (embedder_name, fingerprint)
+        with self._lock:
+            self._data[key] = frozen
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._data
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all entries; counters are preserved."""
+        with self._lock:
+            self._data.clear()
+
+    def snapshot(self) -> dict:
+        """Counters and occupancy for monitoring."""
+        with self._lock:
+            size = len(self._data)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,88 @@
+"""Hot-path observability for the inference runtime.
+
+Qworkers sit on the query critical path (Figure 1), so the runtime
+tracks exactly the quantities that determine whether the shared
+pipeline is paying off: per-stage wall time, embedder ``transform``
+invocations, cache hit rate, and the batch dedup ratio.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+STAGES = ("fingerprint", "dedup", "embed", "predict", "scatter")
+
+
+@dataclass
+class RuntimeMetrics:
+    """Counters and timings accumulated across pipeline batches.
+
+    Not synchronized: updates assume the single-threaded worker loop.
+    The async-Qworkers roadmap item owns making aggregation
+    concurrency-safe (the embedding cache underneath is already
+    locked).
+    """
+
+    batches: int = 0
+    queries: int = 0
+    unique_templates: int = 0  # distinct fingerprints per batch, summed
+    embedded_templates: int = 0  # templates actually sent to transform
+    transform_calls: int = 0  # embedder.transform invocations
+    cache_hits: int = 0
+    cache_misses: int = 0
+    stage_seconds: dict[str, float] = field(
+        default_factory=lambda: {name: 0.0 for name in STAGES}
+    )
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time one pipeline stage; accumulates into ``stage_seconds``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stage_seconds[name] = (
+                self.stage_seconds.get(name, 0.0) + time.perf_counter() - start
+            )
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of queries that were duplicates of an earlier
+        template in their batch (0.0 = all unique)."""
+        if not self.queries:
+            return 0.0
+        return 1.0 - self.unique_templates / self.queries
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of unique-template lookups served from cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-dict view for ``QuercService.stats()`` / dashboards."""
+        return {
+            "batches": self.batches,
+            "queries": self.queries,
+            "unique_templates": self.unique_templates,
+            "embedded_templates": self.embedded_templates,
+            "transform_calls": self.transform_calls,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "dedup_ratio": self.dedup_ratio,
+            "stage_seconds": dict(self.stage_seconds),
+        }
+
+    def reset(self) -> None:
+        """Zero every counter and timing (e.g. between bench phases)."""
+        self.batches = 0
+        self.queries = 0
+        self.unique_templates = 0
+        self.embedded_templates = 0
+        self.transform_calls = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.stage_seconds = {name: 0.0 for name in STAGES}

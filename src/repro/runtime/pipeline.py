@@ -1,0 +1,309 @@
+"""The shared-embedding inference pipeline — Querc's hot path.
+
+Qworkers are on the query critical path, and the expensive step is the
+embedder. Before this layer existed, every classifier on a worker
+re-tokenized and re-embedded the full batch, so a worker with four
+classifiers sharing one embedder paid the embedding cost four times.
+The pipeline restructures one batch's inference as:
+
+1. **fingerprint** — a literal-folded template fingerprint per query
+   (:func:`repro.sql.normalizer.template_fingerprint`);
+2. **dedup** — collapse the batch to its distinct templates;
+3. **embed** — one ``transform`` call per *distinct embedder* (not per
+   classifier) over only the templates missing from the bounded LRU
+   :class:`~repro.runtime.cache.EmbeddingCache`;
+4. **predict/scatter** — fan the shared vectors out to every
+   classifier's labeler and scatter predictions back over the batch,
+   attaching all labels in a single copy per message.
+
+For deterministic embedders (e.g. bag-of-tokens) the output is
+semantically equivalent to the legacy per-classifier path, up to
+floating-point batch-shape jitter (~1e-16: BLAS rounds a k-row matmul
+differently from an n-row one). For embedders with stochastic
+inference (Doc2Vec trains a fresh vector per call) the pipeline is a
+semantic *improvement*: duplicates of one template now share one
+canonical vector instead of each drawing its own noisy sample.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import weakref
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.embedding.base import QueryEmbedder as _BaseEmbedder
+from repro.runtime.cache import EmbeddingCache
+from repro.runtime.metrics import RuntimeMetrics
+from repro.sql.normalizer import template_fingerprint
+
+if TYPE_CHECKING:  # avoid an import cycle with repro.core
+    from repro.core.classifier import QueryClassifier
+    from repro.core.labeled_query import LabeledQuery
+    from repro.embedding.base import QueryEmbedder
+
+
+# process-wide, not per-pipeline: two pipelines sharing one
+# EmbeddingCache must never assign the same namespace to different
+# embedder objects
+_NAMESPACE_SERIAL = itertools.count(1)
+
+
+class InferencePipeline:
+    """Batch inference with template dedup and a shared embedding cache.
+
+    One pipeline (and hence one cache and one metrics object) is meant
+    to be shared by every Qworker in a service — embedders are shared
+    service-wide, so their template vectors should be too.
+    """
+
+    def __init__(
+        self,
+        cache: EmbeddingCache | None = None,
+        metrics: RuntimeMetrics | None = None,
+    ) -> None:
+        self.cache = cache if cache is not None else EmbeddingCache()
+        self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        # embedder object -> its cache namespace; namespaces carry a
+        # monotonic serial so they are never reused, even after the
+        # object dies — a new same-named embedder must not hit a dead
+        # embedder's cache entries.
+        self._names: "weakref.WeakKeyDictionary[object, str]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._name_lock = threading.Lock()
+
+    # -- batch labeling (the Qworker path) ----------------------------------------
+
+    def run(
+        self,
+        batch: "Sequence[LabeledQuery]",
+        classifiers: "Sequence[QueryClassifier]",
+    ) -> "list[LabeledQuery]":
+        """Label a batch with every classifier, embedding each distinct
+        embedder exactly once over the batch's unique templates."""
+        if not batch:
+            return []
+        if not classifiers:  # no inference happened; don't skew metrics
+            return list(batch)
+        m = self.metrics
+        m.batches += 1
+        m.queries += len(batch)
+        queries = [message.query for message in batch]
+
+        groups: dict[int, list[QueryClassifier]] = {}
+        for classifier in classifiers:
+            groups.setdefault(id(classifier.embedder), []).append(classifier)
+
+        label_rows: list[dict] = [{} for _ in batch]
+        default_fps: list[str] | None = None  # shared across default-hook groups
+        # batch template count for metrics: prefer the canonical
+        # (default-fingerprint) view over any custom scheme
+        default_unique: int | None = None
+        first_unique: int | None = None
+        for group in groups.values():
+            embedder = group[0].embedder
+            name = self._cache_name(embedder, group[0].embedder_name)
+            is_default = _uses_default_fingerprints(embedder)
+            if is_default:
+                if default_fps is None:
+                    with m.stage("fingerprint"):
+                        default_fps = [template_fingerprint(q) for q in queries]
+                fps = default_fps
+            else:
+                fps = self._fingerprint(embedder, queries)
+            representatives, unique_fps, inverse = self._collapse(queries, fps)
+            if is_default and default_unique is None:
+                default_unique = len(representatives)
+            if first_unique is None:
+                first_unique = len(representatives)
+            unique_vectors = self._embed_unique(
+                embedder, name, representatives, unique_fps
+            )
+            with m.stage("scatter"):
+                vectors = unique_vectors[inverse]
+            with m.stage("predict"):
+                for classifier in group:
+                    predictions = classifier.predict_vectors(vectors)
+                    for row, label in zip(label_rows, predictions):
+                        row[classifier.label_name] = label
+        m.unique_templates += (
+            default_unique if default_unique is not None else (first_unique or 0)
+        )
+        with m.stage("scatter"):
+            return [
+                message.with_labels(**row)
+                for message, row in zip(batch, label_rows)
+            ]
+
+    # -- raw embedding (the apps / offline path) ----------------------------------
+
+    def embed(
+        self,
+        embedder: "QueryEmbedder",
+        queries: Sequence[str],
+        embedder_name: str = "",
+    ) -> np.ndarray:
+        """Embed raw texts through the dedup + cache path.
+
+        Drop-in replacement for ``embedder.transform(queries)`` wherever
+        template-level vectors are acceptable.
+        """
+        if len(queries) == 0:
+            return np.zeros((0, embedder.dimension), dtype=np.float64)
+        m = self.metrics
+        fps = self._fingerprint(embedder, list(queries))
+        representatives, unique_fps, inverse = self._collapse(list(queries), fps)
+        m.batches += 1
+        m.queries += len(queries)
+        m.unique_templates += len(representatives)
+        name = self._cache_name(embedder, embedder_name)
+        unique_vectors = self._embed_unique(
+            embedder, name, representatives, unique_fps
+        )
+        with m.stage("scatter"):
+            return unique_vectors[inverse]
+
+    def snapshot(self) -> dict:
+        """Metrics plus cache state, for ``QuercService.stats()``."""
+        return {**self.metrics.snapshot(), "cache": self.cache.snapshot()}
+
+    # -- internals ----------------------------------------------------------------
+
+    def _fingerprint(
+        self, embedder: "QueryEmbedder", queries: list[str]
+    ) -> list[str]:
+        """Per-query cache keys for this embedder.
+
+        Uses the embedder's own ``fingerprints`` hook when present, so
+        an embedder with custom tokenization keys the cache on exactly
+        what its ``transform`` will consume.
+        """
+        with self.metrics.stage("fingerprint"):
+            hook = getattr(embedder, "fingerprints", None)
+            if hook is not None:
+                return hook(queries)
+            return [template_fingerprint(q) for q in queries]
+
+    def _collapse(
+        self, queries: list[str], fps: list[str]
+    ) -> tuple[list[str], list[str], np.ndarray]:
+        """Collapse a fingerprinted batch to its distinct templates.
+
+        Returns (representative queries, unique fingerprints, inverse)
+        where ``representatives[inverse[i]]`` stands in for
+        ``queries[i]``.
+        """
+        m = self.metrics
+        with m.stage("dedup"):
+            index_of: dict[str, int] = {}
+            representatives: list[str] = []
+            unique_fps: list[str] = []
+            inverse = np.empty(len(queries), dtype=np.intp)
+            for i, (query, fp) in enumerate(zip(queries, fps)):
+                j = index_of.get(fp)
+                if j is None:
+                    j = index_of[fp] = len(representatives)
+                    representatives.append(query)
+                    unique_fps.append(fp)
+                inverse[i] = j
+        return representatives, unique_fps, inverse
+
+    def _embed_unique(
+        self,
+        embedder: "QueryEmbedder",
+        name: str | None,
+        representatives: list[str],
+        unique_fps: list[str],
+    ) -> np.ndarray:
+        """Vectors for the unique templates: cache first, then **one**
+        ``transform`` call covering exactly the misses. ``name=None``
+        (uncacheable embedder) still dedups but skips the cache."""
+        m = self.metrics
+        if name is None:
+            with m.stage("embed"):
+                fresh = np.asarray(
+                    embedder.transform(representatives), dtype=np.float64
+                )
+                m.transform_calls += 1
+                m.embedded_templates += len(representatives)
+            return fresh
+        with m.stage("embed"):
+            vectors = np.empty(
+                (len(representatives), embedder.dimension), dtype=np.float64
+            )
+            missing: list[int] = []
+            for i, fp in enumerate(unique_fps):
+                hit = self.cache.get(name, fp)
+                if hit is None:
+                    missing.append(i)
+                else:
+                    vectors[i] = hit
+            m.cache_hits += len(unique_fps) - len(missing)
+            m.cache_misses += len(missing)
+            if missing:
+                fresh = embedder.transform([representatives[i] for i in missing])
+                m.transform_calls += 1
+                m.embedded_templates += len(missing)
+                for i, row in zip(missing, fresh):
+                    vectors[i] = row
+                    self.cache.put(name, unique_fps[i], row)
+        return vectors
+
+    def _cache_name(
+        self, embedder: "QueryEmbedder", requested: str = ""
+    ) -> str | None:
+        """A cache namespace for this embedder object, unique process-
+        wide even across embedder churn (a serial makes namespaces
+        non-reusable, so a fresh same-named embedder can never hit a
+        dead one's entries; stale entries age out of the LRU). The
+        embedder's fit generation is folded in, so refitting an
+        already-cached embedder can't serve vectors from an old fit.
+        Returns None for embedders that cannot be cached safely.
+        """
+        generation = getattr(embedder, "fit_generation", 0)
+        with self._name_lock:  # check-then-claim must be atomic
+            try:
+                known = self._names.get(embedder)
+            except TypeError:
+                # not weak-referenceable: no safe way to memoize by
+                # identity (ids are recycled), so these embedders are
+                # simply not cached — entries under throwaway
+                # namespaces would only pollute the shared LRU
+                return None
+            if known is None:
+                base = requested or type(embedder).__name__
+                known = f"{base}~{next(_NAMESPACE_SERIAL)}"
+                self._names[embedder] = known
+        return f"{known}|g{generation}"
+
+
+def _uses_default_fingerprints(embedder) -> bool:
+    """True when the embedder provably inherits the base tokenize/
+    fingerprint contract, so its fingerprint list can be shared with
+    other default embedders instead of recomputed per group. Wrappers
+    and overriders get their own (correct) per-embedder pass."""
+    t = type(embedder)
+    return (
+        getattr(t, "fingerprints", None) is _BaseEmbedder.fingerprints
+        and getattr(t, "fingerprint", None) is _BaseEmbedder.fingerprint
+        and getattr(t, "tokenize", None) is _BaseEmbedder.tokenize
+    )
+
+
+def embed_queries(
+    embedder: "QueryEmbedder",
+    queries: Sequence[str],
+    runtime: InferencePipeline | None = None,
+    embedder_name: str = "",
+) -> np.ndarray:
+    """Embed through the shared pipeline when one is wired, else direct.
+
+    Lets applications opt into the cached/deduplicated path with a
+    single optional constructor argument.
+    """
+    if runtime is not None:
+        return runtime.embed(embedder, queries, embedder_name=embedder_name)
+    return embedder.transform(queries)

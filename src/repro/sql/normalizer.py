@@ -10,9 +10,15 @@ Two representations are produced from raw SQL:
 * :func:`token_stream` — the token sequence fed to embedders. Literals
   are folded there too: the paper's embedders learn structure and
   schema vocabulary, not constants.
+* :func:`template_fingerprint` — a compact digest of the folded token
+  stream; two queries with the same fingerprint are guaranteed to feed
+  identical token sequences to every embedder, which is what makes the
+  runtime layer's embedding cache and batch deduplication sound.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 from repro.sql.lexer import tokenize
 from repro.sql.tokens import Token, TokenType
@@ -40,6 +46,34 @@ def token_stream(sql: str, fold_literals: bool = True) -> list[str]:
     placeholders unless ``fold_literals`` is False.
     """
     return [_render(tok, fold_literals) for tok in tokenize(sql)[:-1]]
+
+
+def safe_token_stream(sql: str, fold_literals: bool = True) -> list[str]:
+    """Like :func:`token_stream`, but total: lexically broken queries
+    degrade to whitespace tokens rather than raising. Querc must embed
+    (and fingerprint) anything the log contains, garbage included.
+    """
+    try:
+        return token_stream(sql, fold_literals=fold_literals)
+    except Exception:  # noqa: BLE001 - logs contain garbage; stay total
+        return sql.split()
+
+
+def fingerprint_token_stream(tokens: list[str]) -> str:
+    """Digest of one token sequence (the primitive under
+    :func:`template_fingerprint` and ``QueryEmbedder.fingerprint``)."""
+    joined = "\x1f".join(tokens)
+    return hashlib.blake2b(joined.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def template_fingerprint(sql: str) -> str:
+    """Digest identifying the query's literal-folded template.
+
+    Built from :func:`safe_token_stream` — exactly the sequence
+    embedders consume — so equal fingerprints imply equal embedder
+    input. Used as the dedup/cache key on the inference hot path.
+    """
+    return fingerprint_token_stream(safe_token_stream(sql, fold_literals=True))
 
 
 def _render(tok: Token, fold_literals: bool) -> str:

@@ -24,6 +24,11 @@ class StreamBatch:
     def __len__(self) -> int:
         return len(self.records)
 
+    def queries(self) -> list[str]:
+        """Raw query texts, in batch order — what the runtime pipeline
+        fingerprints and embeds."""
+        return [record.query for record in self.records]
+
 
 class QueryStream:
     """Replays records for one application in fixed-size batches."""

@@ -9,7 +9,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.embedding import Doc2VecEmbedder, LSTMAutoencoderEmbedder
+from repro.embedding import (
+    BagOfTokensEmbedder,
+    Doc2VecEmbedder,
+    LSTMAutoencoderEmbedder,
+)
 from repro.minidb import Database, generate_tpch_database
 from repro.workloads import (
     SnowSimConfig,
@@ -55,6 +59,18 @@ def small_corpus() -> list[str]:
 @pytest.fixture(scope="session")
 def fitted_doc2vec(small_corpus) -> Doc2VecEmbedder:
     return Doc2VecEmbedder(dimension=16, epochs=5, seed=1).fit(small_corpus)
+
+
+@pytest.fixture(scope="session")
+def fitted_bow(small_corpus, tpch_workload, snowsim_records) -> BagOfTokensEmbedder:
+    """A deterministic embedder (row-independent transform), fitted on a
+    mixed TPC-H + SnowSim corpus — the runtime-equivalence substrate."""
+    corpus = (
+        small_corpus
+        + tpch_workload
+        + [r.query for r in snowsim_records[:300]]
+    )
+    return BagOfTokensEmbedder(dimension=16, min_count=1, seed=3).fit(corpus)
 
 
 @pytest.fixture(scope="session")

@@ -58,6 +58,42 @@ class TestPublishFetch:
         assert reopened.describe("persisted").name == "persisted"
         assert reopened.fetch("persisted").is_fitted
 
+    def test_index_with_unknown_keys_still_reads(self, hub, fitted_doc2vec):
+        """A newer hub may add index fields; old readers must not crash."""
+        import json
+
+        hub.publish("future-proof", fitted_doc2vec, "c")
+        index_path = hub._root / "index.json"
+        index = json.loads(index_path.read_text())
+        index["future-proof"]["license"] = "apache-2.0"  # unknown field
+        index["future-proof"]["downloads"] = 17
+        index_path.write_text(json.dumps(index))
+
+        entry = hub.describe("future-proof")
+        assert entry.name == "future-proof"
+        assert [m.name for m in hub.list_models()] == ["future-proof"]
+        assert hub.fetch("future-proof").is_fitted
+
+    def test_index_missing_required_key_raises_service_error(
+        self, hub, fitted_doc2vec
+    ):
+        import json
+
+        hub.publish("truncated", fitted_doc2vec, "c")
+        index_path = hub._root / "index.json"
+        index = json.loads(index_path.read_text())
+        del index["truncated"]["publisher"]
+        index_path.write_text(json.dumps(index))
+        with pytest.raises(ServiceError):
+            hub.describe("truncated")
+
+    def test_save_index_is_atomic(self, hub, fitted_doc2vec):
+        """Publishing must never leave a temp file or partial index."""
+        hub.publish("atomic", fitted_doc2vec, "c")
+        leftovers = [p for p in hub._root.iterdir() if p.name.endswith(".tmp")]
+        assert leftovers == []
+        assert hub.describe("atomic").filename == "atomic.npz"
+
     def test_fetched_model_serves_transfer_learning(self, hub, fitted_lstm):
         """A third party embeds queries from a schema the publisher
         never saw — the Figure 3 transfer path."""

@@ -1,0 +1,486 @@
+"""Tests for the vectorized inference runtime.
+
+Covers the satellite checklist: cache eviction at capacity, hit/miss
+accounting, dedup correctness on batches with repeated templates, and
+equivalence (pipeline output == legacy per-classifier output) on a
+mixed TPC-H/SnowSim batch — plus the Qworker sink fan-out hardening.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LabeledQuery, QuercService, QueryClassifier, QWorker
+from repro.core.labeler import ClassifierLabeler
+from repro.errors import EmbeddingError, ServiceError
+from repro.ml.forest import RandomizedForestClassifier
+from repro.runtime import EmbeddingCache, InferencePipeline, RuntimeMetrics
+from repro.sql.normalizer import template_fingerprint
+from repro.workloads.stream import QueryStream
+
+
+class CountingEmbedder:
+    """Delegating wrapper that records every ``transform`` invocation."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.calls: list[list[str]] = []
+
+    def transform(self, queries):
+        self.calls.append(list(queries))
+        return self.inner.transform(queries)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class QuantizedEmbedder:
+    """Rounds vectors to 9 decimals so exact-equivalence assertions are
+    immune to BLAS batch-shape rounding jitter (~1e-16): the legacy and
+    pipeline paths transform different batch shapes."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    def transform(self, queries):
+        return np.round(self.inner.transform(queries), 9)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def _make_classifier(label_name, embedder, train_queries, labels, seed=0):
+    labeler = ClassifierLabeler(
+        RandomizedForestClassifier(n_trees=4, max_depth=8, seed=seed)
+    )
+    labeler.fit(embedder.transform(train_queries), labels)
+    return QueryClassifier(label_name, embedder, labeler)
+
+
+# -- the cache --------------------------------------------------------------------
+
+
+class TestEmbeddingCache:
+    def test_eviction_at_capacity(self):
+        cache = EmbeddingCache(capacity=2)
+        for i in range(3):
+            cache.put("e", f"fp{i}", np.full(4, float(i)))
+        assert len(cache) == 2
+        assert cache.get("e", "fp0") is None  # LRU entry evicted
+        assert cache.get("e", "fp2") is not None
+        assert cache.evictions == 1
+
+    def test_lru_refresh_on_get(self):
+        cache = EmbeddingCache(capacity=2)
+        cache.put("e", "a", np.zeros(2))
+        cache.put("e", "b", np.ones(2))
+        cache.get("e", "a")  # refresh a; b becomes LRU
+        cache.put("e", "c", np.full(2, 2.0))
+        assert cache.get("e", "b") is None
+        assert cache.get("e", "a") is not None
+
+    def test_hit_miss_accounting(self):
+        cache = EmbeddingCache(capacity=8)
+        assert cache.hit_rate == 0.0
+        cache.put("e", "x", np.zeros(2))
+        assert cache.get("e", "x") is not None
+        assert cache.get("e", "ghost") is None
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_keys_are_namespaced_by_embedder(self):
+        cache = EmbeddingCache(capacity=8)
+        cache.put("e1", "fp", np.zeros(2))
+        assert cache.get("e2", "fp") is None
+
+    def test_cached_vectors_are_frozen(self):
+        cache = EmbeddingCache(capacity=2)
+        source = np.ones(3)
+        cache.put("e", "fp", source)
+        source[0] = 99.0  # caller mutation must not leak into the cache
+        vec = cache.get("e", "fp")
+        assert vec[0] == 1.0
+        with pytest.raises(ValueError):
+            vec[0] = 5.0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ServiceError):
+            EmbeddingCache(capacity=0)
+
+
+# -- template fingerprints ---------------------------------------------------------
+
+
+class TestTemplateFingerprint:
+    def test_literals_fold_together(self):
+        a = template_fingerprint("SELECT a FROM t WHERE x = 5 AND s = 'u1'")
+        b = template_fingerprint("select A  from T where x = 999 and s='other'")
+        assert a == b
+
+    def test_structure_distinguishes(self):
+        a = template_fingerprint("SELECT a FROM t")
+        b = template_fingerprint("SELECT a, b FROM t")
+        assert a != b
+
+    def test_total_on_garbage(self):
+        fp = template_fingerprint("garbage ~~ %% not sql at all ♞")
+        assert isinstance(fp, str) and fp
+        assert fp == template_fingerprint("garbage ~~ %% not sql at all ♞")
+
+
+# -- the pipeline ------------------------------------------------------------------
+
+
+class TestPipelineDedup:
+    def test_one_transform_over_unique_templates_only(self, fitted_bow):
+        counting = CountingEmbedder(fitted_bow)
+        pipe = InferencePipeline()
+        templates = [
+            "SELECT a FROM t WHERE x = {}",
+            "SELECT b, c FROM u WHERE y < {} LIMIT {}",
+            "SELECT count(*) FROM v GROUP BY z HAVING count(*) > {}",
+        ]
+        batch = [templates[i % 3].format(i, i + 1) for i in range(30)]
+        vectors = pipe.embed(counting, batch)
+
+        assert len(counting.calls) == 1  # exactly one transform call
+        assert len(counting.calls[0]) == 3  # over unique templates only
+        assert vectors.shape == (30, fitted_bow.dimension)
+        # deterministic embedder: dedup must be invisible in the output
+        # (allclose, not equal: BLAS rounding differs by batch shape)
+        np.testing.assert_allclose(
+            vectors, fitted_bow.transform(batch), rtol=0, atol=1e-12
+        )
+        assert pipe.metrics.dedup_ratio == pytest.approx(1 - 3 / 30)
+
+    def test_second_batch_served_from_cache(self, fitted_bow):
+        counting = CountingEmbedder(fitted_bow)
+        pipe = InferencePipeline()
+        batch = ["SELECT a FROM t WHERE x = 1", "SELECT b FROM u WHERE y = 2"]
+        first = pipe.embed(counting, batch)
+        second = pipe.embed(counting, batch)
+
+        assert len(counting.calls) == 1  # nothing re-embedded
+        np.testing.assert_array_equal(first, second)
+        assert pipe.metrics.cache_hits == 2
+        assert pipe.metrics.cache_misses == 2
+        assert pipe.metrics.cache_hit_rate == pytest.approx(0.5)
+
+    def test_run_embeds_once_per_distinct_embedder(
+        self, fitted_bow, snowsim_records
+    ):
+        train = snowsim_records[:100]
+        queries = [r.query for r in train]
+        counting = CountingEmbedder(fitted_bow)
+        classifiers = [
+            _make_classifier("user", counting, queries, [r.user for r in train]),
+            _make_classifier("account", counting, queries, [r.account for r in train]),
+            _make_classifier("cluster", counting, queries, [r.cluster for r in train]),
+        ]
+        counting.calls.clear()  # drop the fit-time transforms
+
+        pipe = InferencePipeline()
+        batch = [LabeledQuery.make(r.query) for r in snowsim_records[100:180]]
+        labeled = pipe.run(batch, classifiers)
+
+        assert len(counting.calls) == 1  # 3 classifiers, 1 shared embedder
+        assert len(labeled) == len(batch)
+        assert all(
+            m.has_label("user") and m.has_label("account") and m.has_label("cluster")
+            for m in labeled
+        )
+        assert pipe.metrics.transform_calls == 1
+        assert pipe.metrics.batches == 1
+
+    def test_run_with_two_embedders_transforms_each_once(
+        self, fitted_bow, fitted_doc2vec, snowsim_records
+    ):
+        train = snowsim_records[:60]
+        queries = [r.query for r in train]
+        bow = CountingEmbedder(fitted_bow)
+        d2v = CountingEmbedder(fitted_doc2vec)
+        classifiers = [
+            _make_classifier("user", bow, queries, [r.user for r in train]),
+            _make_classifier("account", bow, queries, [r.account for r in train]),
+            _make_classifier("cluster", d2v, queries, [r.cluster for r in train]),
+        ]
+        bow.calls.clear()
+        d2v.calls.clear()
+
+        pipe = InferencePipeline()
+        batch = [LabeledQuery.make(r.query) for r in snowsim_records[60:100]]
+        pipe.run(batch, classifiers)
+        assert len(bow.calls) == 1
+        assert len(d2v.calls) == 1
+
+    def test_empty_batch_and_no_classifiers(self, fitted_bow):
+        pipe = InferencePipeline()
+        assert pipe.run([], []) == []
+        batch = [LabeledQuery.make("SELECT 1")]
+        assert pipe.run(batch, []) == batch
+        assert pipe.embed(fitted_bow, []).shape == (0, fitted_bow.dimension)
+        # none of the above did inference; metrics must not drift
+        assert pipe.metrics.batches == 0
+        assert pipe.metrics.queries == 0
+        assert pipe.metrics.dedup_ratio == 0.0
+
+    def test_refit_invalidates_cached_vectors(self, small_corpus):
+        """A refit embedder must not serve vectors from its old fit."""
+        from repro.embedding import BagOfTokensEmbedder
+
+        emb = BagOfTokensEmbedder(dimension=8, min_count=1, seed=1)
+        emb.fit(small_corpus[:40])
+        pipe = InferencePipeline()
+        q = ["SELECT col_1 FROM table_1 WHERE col_1 > 3"]
+        stale = pipe.embed(emb, q)
+
+        emb.fit(small_corpus[40:] + ["SELECT new_col FROM new_table"])
+        fresh = pipe.embed(emb, q)
+        np.testing.assert_array_equal(fresh, emb.transform(q))
+        assert not np.array_equal(stale, fresh)
+        assert pipe.metrics.cache_hits == 0  # generation changed: miss
+
+    def test_dead_embedder_namespace_never_reused(self, small_corpus):
+        """After an embedder is garbage-collected, a fresh same-class
+        embedder must not hit the dead one's cache entries."""
+        import gc
+
+        from repro.embedding import BagOfTokensEmbedder
+
+        pipe = InferencePipeline()
+        q = ["SELECT col_1 FROM table_1 WHERE col_1 > 3"]
+        emb_a = BagOfTokensEmbedder(dimension=8, min_count=1, seed=1).fit(
+            small_corpus[:40]
+        )
+        pipe.embed(emb_a, q)
+        del emb_a
+        gc.collect()
+        emb_b = BagOfTokensEmbedder(dimension=8, min_count=1, seed=2).fit(
+            small_corpus[40:]
+        )
+        vectors = pipe.embed(emb_b, q)
+        np.testing.assert_array_equal(vectors, emb_b.transform(q))
+
+    def test_same_named_embedders_do_not_collide(self, small_corpus):
+        from repro.embedding import BagOfTokensEmbedder
+
+        e1 = BagOfTokensEmbedder(dimension=8, min_count=1, seed=1).fit(small_corpus)
+        e2 = BagOfTokensEmbedder(dimension=8, min_count=1, seed=2).fit(small_corpus)
+        pipe = InferencePipeline()
+        q = ["SELECT col_1 FROM table_1 WHERE col_1 > 7"]
+        v1 = pipe.embed(e1, q)  # both claim the class name...
+        v2 = pipe.embed(e2, q)  # ...but must get distinct cache rows
+        np.testing.assert_array_equal(v1, e1.transform(q))
+        np.testing.assert_array_equal(v2, e2.transform(q))
+
+    def test_unweakrefable_embedder_bypasses_cache(self, fitted_bow):
+        """An embedder that can't be weak-referenced is embedded
+        correctly but must not pollute the shared LRU."""
+
+        class SlotsEmbedder:  # no __weakref__, delegates to a real embedder
+            __slots__ = ("inner",)
+
+            def __init__(self, inner):
+                self.inner = inner
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+        emb = SlotsEmbedder(fitted_bow)
+        pipe = InferencePipeline()
+        q = ["SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = 2"]
+        v = pipe.embed(emb, q)
+        np.testing.assert_allclose(
+            v, fitted_bow.transform(q), rtol=0, atol=1e-12
+        )
+        assert len(pipe.cache) == 0  # nothing inserted under dead namespaces
+        assert pipe.metrics.transform_calls == 1  # dedup still applied
+        assert pipe.metrics.unique_templates == 1
+
+    def test_pipelines_sharing_a_cache_do_not_collide(self, small_corpus):
+        """Namespaces are process-unique, so two pipelines over one
+        cache can never serve each other's embedders' vectors."""
+        from repro.embedding import BagOfTokensEmbedder
+
+        cache = EmbeddingCache()
+        p1 = InferencePipeline(cache=cache)
+        p2 = InferencePipeline(cache=cache)
+        e1 = BagOfTokensEmbedder(dimension=8, min_count=1, seed=1).fit(small_corpus)
+        e2 = BagOfTokensEmbedder(dimension=8, min_count=1, seed=2).fit(small_corpus)
+        q = ["SELECT col_1 FROM table_1 WHERE col_1 > 7"]
+        v1 = p1.embed(e1, q)
+        v2 = p2.embed(e2, q)
+        np.testing.assert_array_equal(v1, e1.transform(q))
+        np.testing.assert_array_equal(v2, e2.transform(q))
+
+
+class TestVectorsInEntryPoints:
+    def test_predict_vectors_matches_predict(self, fitted_bow, snowsim_records):
+        train = snowsim_records[:80]
+        queries = [r.query for r in train]
+        clf = _make_classifier("user", fitted_bow, queries, [r.user for r in train])
+        probe = [r.query for r in snowsim_records[80:100]]
+        vectors = fitted_bow.transform(probe)
+        assert clf.predict_vectors(vectors) == clf.predict(probe)
+
+    def test_validate_vectors_rejects_wrong_shape(self, fitted_bow):
+        with pytest.raises(EmbeddingError):
+            fitted_bow.validate_vectors(np.zeros((3, fitted_bow.dimension + 1)))
+        with pytest.raises(EmbeddingError):
+            fitted_bow.validate_vectors(np.zeros(fitted_bow.dimension))
+
+    def test_custom_tokenize_keys_the_cache(self, small_corpus):
+        """Fingerprints derive from ``self.tokenize``: overriding just
+        the tokenizer is enough to keep cache keys matched to exactly
+        what this embedder's transform consumes."""
+        from repro.embedding import BagOfTokensEmbedder
+
+        class RawTextEmbedder(BagOfTokensEmbedder):
+            @staticmethod
+            def tokenize(query):
+                return query.split()  # keeps literals
+
+        emb = RawTextEmbedder(dimension=8, min_count=1).fit(small_corpus)
+        pipe = InferencePipeline()
+        q1 = "SELECT col_1 FROM table_1 WHERE col_1 > 5"
+        q2 = "SELECT col_1 FROM table_1 WHERE col_1 > 99"
+        vectors = pipe.embed(emb, [q1, q2])
+        # template_fingerprint would collapse q1/q2; the derived key must not
+        assert pipe.metrics.unique_templates == 2
+        assert emb.fingerprint(q1) != emb.fingerprint(q2)
+        np.testing.assert_allclose(
+            vectors, emb.transform([q1, q2]), rtol=0, atol=1e-12
+        )
+
+
+# -- equivalence with the legacy path ----------------------------------------------
+
+
+class TestLegacyEquivalence:
+    def test_pipeline_matches_per_classifier_path_on_mixed_batch(
+        self, fitted_bow, tpch_workload, snowsim_records
+    ):
+        """Pipeline labels == legacy labels on a TPC-H + SnowSim mix.
+
+        Uses the deterministic bag-of-tokens embedder so the comparison
+        is exact (Doc2Vec's stochastic inference draws a fresh vector
+        per call even on the legacy path)."""
+        embedder = QuantizedEmbedder(fitted_bow)
+        train = snowsim_records[:200]
+        queries = [r.query for r in train]
+        classifiers = [
+            _make_classifier("user", embedder, queries, [r.user for r in train]),
+            _make_classifier(
+                "account", embedder, queries, [r.account for r in train], seed=1
+            ),
+            _make_classifier(
+                "cluster", embedder, queries, [r.cluster for r in train], seed=2
+            ),
+        ]
+        mixed = tpch_workload[:30] + [r.query for r in snowsim_records[200:260]]
+        # interleave duplicates so the batch has repeated templates
+        mixed = mixed + mixed[:40]
+        batch = [LabeledQuery.make(q) for q in mixed]
+
+        legacy = list(batch)
+        for classifier in classifiers:
+            legacy = classifier.label_batch(legacy)
+
+        piped = InferencePipeline().run(batch, classifiers)
+
+        assert len(piped) == len(legacy)
+        for a, b in zip(piped, legacy):
+            assert a.query == b.query
+            assert dict(a.labels) == dict(b.labels)
+
+
+# -- worker + service integration --------------------------------------------------
+
+
+class TestQWorkerSinkFanOut:
+    def _worker(self):
+        worker = QWorker("W")
+        seen: list[str] = []
+        worker.add_sink(lambda app, batch: seen.append("first"))
+
+        def exploding(app, batch):
+            raise RuntimeError("sink down")
+
+        worker.add_sink(exploding)
+        worker.add_sink(lambda app, batch: seen.append("last"))
+        return worker, seen
+
+    def test_all_sinks_receive_despite_failure(self):
+        worker, seen = self._worker()
+        batch = [LabeledQuery.make("SELECT 1")]
+        with pytest.raises(ServiceError) as err:
+            worker.process_batch(batch)
+        assert seen == ["first", "last"]  # later sinks still delivered
+        assert "1 of 3 sink(s) failed" in str(err.value)
+        assert worker.processed_count == 1  # batch was fully processed
+
+    def test_no_error_when_all_sinks_healthy(self):
+        worker = QWorker("W")
+        got: list[int] = []
+        worker.add_sink(lambda app, batch: got.append(len(batch)))
+        out = worker.process_batch([LabeledQuery.make("SELECT 1")] * 3)
+        assert got == [3] and len(out) == 3
+
+
+class TestServiceRuntimeStats:
+    def test_stats_report_cache_hits_and_dedup(self, fitted_bow, snowsim_records):
+        service = QuercService(n_folds=3, seed=0)
+        service.embedders.register("shared-bow", fitted_bow)
+        service.add_application("X")
+        service.import_logs("X", snowsim_records[:200])
+        service.train_and_deploy("X", label_name="user", embedder_name="shared-bow")
+        service.train_and_deploy("X", label_name="account", embedder_name="shared-bow")
+
+        stream = QueryStream("X", snowsim_records[200:280], batch_size=20)
+        for batch in stream.batches():
+            out = service.process(batch)
+            assert [m.query for m in out] == batch.queries()  # order kept
+            assert all(m.has_label("user") and m.has_label("account") for m in out)
+        # replay: every template now comes from the cache
+        for batch in stream.batches():
+            service.process(batch)
+
+        stats = service.stats()
+        runtime = stats["runtime"]
+        assert runtime["batches"] == 8
+        assert runtime["queries"] == 160
+        assert runtime["cache_hit_rate"] > 0
+        assert runtime["transform_calls"] >= 1
+        assert 0.0 <= runtime["dedup_ratio"] <= 1.0
+        assert runtime["cache"]["size"] == len(service.runtime.cache)
+        assert stats["applications"] == {"X": 160}
+        assert set(runtime["stage_seconds"]) >= {
+            "fingerprint", "dedup", "embed", "predict", "scatter",
+        }
+
+    def test_workers_share_one_pipeline(self, fitted_bow):
+        service = QuercService()
+        a = service.add_application("A")
+        b = service.add_application("B")
+        assert a.worker.pipeline is service.runtime
+        assert b.worker.pipeline is service.runtime
+
+
+class TestRuntimeMetrics:
+    def test_stage_timer_accumulates(self):
+        metrics = RuntimeMetrics()
+        with metrics.stage("embed"):
+            pass
+        with metrics.stage("embed"):
+            pass
+        assert metrics.stage_seconds["embed"] >= 0.0
+        snap = metrics.snapshot()
+        assert snap["batches"] == 0
+        metrics.reset()
+        assert metrics.snapshot()["stage_seconds"]["embed"] == 0.0
+
+    def test_ratios_safe_on_empty(self):
+        metrics = RuntimeMetrics()
+        assert metrics.dedup_ratio == 0.0
+        assert metrics.cache_hit_rate == 0.0
