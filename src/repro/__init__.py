@@ -9,6 +9,9 @@ Public API surface:
   query embedders, from scratch in numpy.
 * ``repro.apps`` — the paper's applications (summarization, security
   auditing, routing, error prediction, resources, recommendation).
+* ``repro.backends`` — the databases behind the ``query(X, t)``
+  arrows: backend adapters, per-backend admission control, and the
+  prediction-driven batch router.
 * ``repro.minidb`` — the cost-based engine + index advisor substrate.
 * ``repro.workloads`` — TPC-H and SnowSim workload generators.
 * ``repro.experiments`` — one module per table/figure in the paper.
@@ -27,6 +30,12 @@ Quickstart::
     service.train_and_deploy("X", label_name="account", embedder_name="shared")
 """
 
+from repro.backends import (
+    BackendRegistry,
+    BatchRouter,
+    MiniDBBackend,
+    SpillPolicy,
+)
 from repro.core import (
     LabeledQuery,
     QueryClassifier,
@@ -43,9 +52,13 @@ from repro.embedding import (
 from repro.errors import ReproError
 from repro.runtime import EmbeddingCache, InferencePipeline, RuntimeMetrics
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "BackendRegistry",
+    "BatchRouter",
+    "MiniDBBackend",
+    "SpillPolicy",
     "LabeledQuery",
     "QueryClassifier",
     "QuercService",

@@ -68,6 +68,25 @@ class RoutingPolicyAuditor(SharedEmbeddingApp):
             raise LabelingError("fit must be called first")
         return self._labeler.predict(self._embed(queries))
 
+    def to_classifier(self, label_name: str = "cluster") -> "QueryClassifier":
+        """Package the fitted policy model as a deployable classifier.
+
+        Attached to a Qworker, it stamps every message with the
+        predicted cluster — the label the
+        :class:`~repro.backends.router.BatchRouter` routes on, turning
+        the audit-only policy model into the dispatch decision of
+        Figure 1's ``DB(X)`` arrows.
+        """
+        if self._labeler is None:
+            raise LabelingError("fit must be called first")
+        from repro.core.classifier import QueryClassifier
+
+        return QueryClassifier(
+            label_name=label_name,
+            embedder=self.embedder,
+            labeler=self._labeler,
+        )
+
     def find_misroutes(
         self, records: list[QueryLogRecord], min_confidence: float = 0.7
     ) -> list[RoutingFinding]:

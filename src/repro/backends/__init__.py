@@ -1,0 +1,42 @@
+"""Backend routing layer: the databases behind the ``query(X, t)`` arrows.
+
+``repro.backends`` turns predicted labels into placement decisions:
+
+* :class:`Backend` / :class:`MiniDBBackend` — execute a batch of SQL
+  texts and report per-query outcomes;
+* :class:`AdmissionController` — bounded in-flight slots plus a token
+  bucket in front of each backend;
+* :class:`BackendRegistry` / :class:`BatchRouter` — group a labeled
+  batch by its predicted route label, admit what each backend's gate
+  allows, and spill the rest (reject / queue / fallback).
+"""
+
+from repro.backends.admission import AdmissionController, TokenBucket
+from repro.backends.base import Backend, BatchResult, NullBackend, QueryOutcome
+from repro.backends.minidb_backend import MiniDBBackend
+from repro.backends.router import (
+    BackendBinding,
+    BackendCounters,
+    BackendRegistry,
+    BatchRouter,
+    DispatchReport,
+    RouteDecision,
+    SpillPolicy,
+)
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "Backend",
+    "BatchResult",
+    "NullBackend",
+    "QueryOutcome",
+    "MiniDBBackend",
+    "BackendBinding",
+    "BackendCounters",
+    "BackendRegistry",
+    "BatchRouter",
+    "DispatchReport",
+    "RouteDecision",
+    "SpillPolicy",
+]

@@ -1,0 +1,136 @@
+"""Per-backend admission control: in-flight slots + token bucket.
+
+WiSeDB and Tempo both place the admission decision in front of the
+backends — a database protects itself by bounding how much concurrently
+executing work it accepts (in-flight slots) and how fast new work may
+arrive (token bucket). Both limits are optional; an unconfigured
+controller admits everything. The clock is injectable so rate-limit
+behavior is deterministic under test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from repro.errors import AdmissionError
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, capacity ``burst``.
+
+    ``take(n)`` grants up to ``n`` tokens (never blocks, never goes
+    negative) and returns how many were granted — partial grants let
+    the router admit the head of a batch and spill the tail.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise AdmissionError("token rate must be positive")
+        if burst <= 0:
+            raise AdmissionError("burst capacity must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)  # start full: allow an initial burst
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def take(self, n: int) -> int:
+        """Grant up to ``n`` whole tokens; returns the number granted."""
+        if n <= 0:
+            return 0
+        with self._lock:
+            self._refill()
+            granted = min(n, int(self._tokens))
+            self._tokens -= granted
+            return granted
+
+    @property
+    def available(self) -> int:
+        with self._lock:
+            self._refill()
+            return int(self._tokens)
+
+
+class AdmissionController:
+    """Gate in front of one backend: bounded in-flight work plus an
+    optional arrival-rate limit.
+
+    ``admit(n)`` grants ``k <= n`` units (slots acquired, tokens
+    spent); the caller must ``release(k)`` once the admitted work has
+    finished executing. Tokens are consumed, not returned — the rate
+    limit meters arrivals, the slots meter concurrency.
+    """
+
+    def __init__(
+        self,
+        max_in_flight: int | None = None,
+        rate: float | None = None,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_in_flight is not None and max_in_flight < 1:
+            raise AdmissionError("max_in_flight must be >= 1 (or None)")
+        if burst is not None and rate is None:
+            raise AdmissionError("burst requires a rate")
+        self.max_in_flight = max_in_flight
+        self._bucket = (
+            TokenBucket(rate, burst if burst is not None else rate, clock)
+            if rate is not None
+            else None
+        )
+        self._in_flight = 0
+        self._lock = threading.Lock()
+
+    def admit(self, n: int) -> int:
+        """Admit up to ``n`` units of work; returns how many got in."""
+        if n <= 0:
+            return 0
+        with self._lock:
+            if self.max_in_flight is not None:
+                free = self.max_in_flight - self._in_flight
+                n = min(n, max(0, free))
+            if n and self._bucket is not None:
+                n = self._bucket.take(n)
+            self._in_flight += n
+            return n
+
+    def release(self, n: int) -> None:
+        """Return ``n`` previously admitted units' slots."""
+        if n < 0:
+            raise AdmissionError("cannot release a negative count")
+        with self._lock:
+            if n > self._in_flight:
+                raise AdmissionError(
+                    f"release({n}) exceeds in-flight count {self._in_flight}"
+                )
+            self._in_flight -= n
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "in_flight": self._in_flight,
+                "max_in_flight": self.max_in_flight,
+                "tokens_available": (
+                    self._bucket.available if self._bucket else None
+                ),
+                "rate": self._bucket.rate if self._bucket else None,
+            }

@@ -1,0 +1,115 @@
+"""MiniDB adapter: labeled batches actually execute somewhere.
+
+Wraps a :class:`repro.minidb.engine.Database` behind the
+:class:`~repro.backends.base.Backend` protocol. By default per-query
+failures (parse errors, unknown tables — routine in multi-tenant
+traffic where not every tenant's schema lives on every backend) are
+captured as failed outcomes so one bad query cannot poison its batch;
+``strict=True`` turns the first failure into a raised
+:class:`~repro.errors.BackendError` instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Sequence
+
+from repro.backends.base import Backend, BatchResult, QueryOutcome
+from repro.errors import BackendError
+from repro.minidb.engine import Database
+from repro.minidb.indexes import IndexConfig
+
+
+class MiniDBBackend(Backend):
+    """A named minidb instance the router can dispatch to."""
+
+    def __init__(
+        self,
+        name: str,
+        database: Database,
+        config: IndexConfig | None = None,
+        strict: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.database = database
+        self.config = config
+        self.strict = strict
+        self._lock = threading.Lock()
+        self._executed = 0
+        self._failed = 0
+
+    def execute(self, queries: Sequence[str]) -> BatchResult:
+        outcomes = (
+            self._execute_strict(list(queries))
+            if self.strict
+            else self._execute_lenient(queries)
+        )
+        ok = sum(1 for o in outcomes if o.ok)
+        with self._lock:
+            self._executed += ok
+            self._failed += len(outcomes) - ok
+        return BatchResult(backend=self.name, outcomes=tuple(outcomes))
+
+    def _execute_lenient(self, queries: Sequence[str]) -> list[QueryOutcome]:
+        """Per-query execution; faults become failed outcomes."""
+        outcomes: list[QueryOutcome] = []
+        for sql in queries:
+            start = time.perf_counter()
+            try:
+                result = self.database.execute(sql, self.config)
+            except Exception as exc:  # noqa: BLE001 - engine faults become outcomes
+                outcomes.append(
+                    QueryOutcome(
+                        query=sql,
+                        ok=False,
+                        latency_seconds=time.perf_counter() - start,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            outcomes.append(
+                QueryOutcome(
+                    query=sql,
+                    ok=True,
+                    n_rows=result.n_rows,
+                    cost_units=result.actual_cost,
+                    latency_seconds=time.perf_counter() - start,
+                    result=result,
+                )
+            )
+        return outcomes
+
+    def _execute_strict(self, queries: list[str]) -> list[QueryOutcome]:
+        """All-or-nothing batch through ``execute_many`` (one shared
+        executor); the first engine fault aborts the whole batch."""
+        start = time.perf_counter()
+        try:
+            results = self.database.execute_many(queries, self.config)
+        except Exception as exc:  # noqa: BLE001 - surface as a backend fault
+            raise BackendError(
+                f"backend {self.name!r} failed executing a strict batch "
+                f"of {len(queries)}: {exc}"
+            ) from exc
+        per_query = (time.perf_counter() - start) / max(1, len(queries))
+        return [
+            QueryOutcome(
+                query=sql,
+                ok=True,
+                n_rows=result.n_rows,
+                cost_units=result.actual_cost,
+                latency_seconds=per_query,
+                result=result,
+            )
+            for sql, result in zip(queries, results)
+        ]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            executed, failed = self._executed, self._failed
+        return {
+            **super().snapshot(),
+            "tables": sorted(self.database.tables),
+            "executed": executed,
+            "failed": failed,
+        }

@@ -1,0 +1,442 @@
+"""Prediction-driven dispatch: labeled batches land on real backends.
+
+The :class:`BatchRouter` closes Figure 1's loop. A Qworker labels a
+batch (the routing application's predicted ``cluster`` among the
+labels); the router groups the batch by the backend each predicted
+label maps to, asks that backend's :class:`AdmissionController` how
+much of the group it will take right now, executes the admitted head,
+and applies the binding's spill policy to the overflow:
+
+* ``REJECT`` — drop the overflow and count it (WiSeDB's "shed when the
+  SLA is already lost" stance);
+* ``QUEUE``  — park the overflow in a bounded per-backend queue that is
+  retried ahead of new arrivals on subsequent dispatches (Tempo's
+  deferred-work stance);
+* ``FALLBACK`` — offer the overflow to a designated sibling backend,
+  subject to *its* admission control (one hop, no cascading).
+
+Every decision is counted per backend — dispatched, admitted,
+rejected, spilled, executed, per-backend latency — and surfaces in
+``QuercService.stats()``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.backends.admission import AdmissionController
+from repro.backends.base import Backend, BatchResult
+from repro.errors import BackendError
+from repro.runtime.metrics import RuntimeMetrics
+
+if TYPE_CHECKING:  # avoid an import cycle with repro.core
+    from repro.core.labeled_query import LabeledQuery
+
+
+class SpillPolicy(str, Enum):
+    """What happens to work an admission controller turns away."""
+
+    REJECT = "reject"
+    QUEUE = "queue"
+    FALLBACK = "fallback"
+
+
+class BackendCounters:
+    """Thread-safe per-backend dispatch ledger."""
+
+    _FIELDS = (
+        "batches",
+        "dispatched",
+        "admitted",
+        "rejected",
+        "spilled",
+        "queued",
+        "executed_ok",
+        "failed",
+        "rows_returned",
+        "cost_units",
+        "execute_seconds",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._FIELDS:
+            setattr(self, name, 0.0 if name in ("cost_units", "execute_seconds") else 0)
+
+    def add(self, **deltas) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                if name not in self._FIELDS:
+                    raise BackendError(f"unknown counter {name!r}")
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            out = {name: getattr(self, name) for name in self._FIELDS}
+        executed = out["executed_ok"] + out["failed"]
+        out["mean_query_seconds"] = (
+            out["execute_seconds"] / executed if executed else 0.0
+        )
+        return out
+
+
+class BackendBinding:
+    """One registered backend plus its gate, spill policy and queue."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        admission: AdmissionController,
+        spill: SpillPolicy = SpillPolicy.REJECT,
+        fallback: str | None = None,
+        queue_capacity: int = 256,
+    ) -> None:
+        if spill is SpillPolicy.FALLBACK and not fallback:
+            raise BackendError(
+                f"backend {backend.name!r}: FALLBACK spill needs a fallback name"
+            )
+        if queue_capacity < 0:
+            raise BackendError("queue_capacity must be >= 0")
+        self.backend = backend
+        self.admission = admission
+        self.spill = spill
+        self.fallback = fallback
+        self.counters = BackendCounters()
+        self._pending: deque[LabeledQuery] = deque()
+        self._queue_capacity = queue_capacity
+        self._pending_lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return self.backend.name
+
+    # -- pending queue (QUEUE spill policy) ---------------------------------------
+
+    def enqueue(self, messages: "Sequence[LabeledQuery]") -> tuple[int, int]:
+        """Park messages for later; returns (queued, overflowed)."""
+        with self._pending_lock:
+            room = self._queue_capacity - len(self._pending)
+            take = max(0, min(room, len(messages)))
+            self._pending.extend(messages[:take])
+        return take, len(messages) - take
+
+    def take_pending(self, n: int | None = None) -> "list[LabeledQuery]":
+        """Pop up to ``n`` parked messages (all of them when None)."""
+        with self._pending_lock:
+            if n is None:
+                n = len(self._pending)
+            return [self._pending.popleft() for _ in range(min(n, len(self._pending)))]
+
+    @property
+    def pending_depth(self) -> int:
+        with self._pending_lock:
+            return len(self._pending)
+
+    def snapshot(self) -> dict:
+        return {
+            **self.counters.snapshot(),
+            "spill": self.spill.value,
+            "fallback": self.fallback,
+            "pending": self.pending_depth,
+            "admission": self.admission.snapshot(),
+            "backend": self.backend.snapshot(),
+        }
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """One (backend, message-group) admission + execution outcome.
+
+    ``from_queue`` marks a retry of previously parked work;
+    ``spilled_from`` names the origin backend when this decision covers
+    overflow handed over by a FALLBACK sibling.
+    """
+
+    backend: str
+    offered: int
+    admitted: int
+    rejected: int = 0
+    queued: int = 0
+    spilled_to: str = ""
+    spilled_from: str = ""
+    from_queue: bool = False
+    result: BatchResult | None = None
+
+
+@dataclass(frozen=True)
+class DispatchReport:
+    """Everything the router did with one labeled batch.
+
+    The aggregate properties account for *this batch's* messages
+    exactly once — fallback hand-offs and queue retries are excluded
+    from ``offered`` (and retries from the other tallies too), so
+    ``offered == admitted + rejected + queued + in-flight-at-fallback``
+    always reconciles with the batch size. The full picture, including
+    retries of previously parked work, is in ``decisions``.
+    """
+
+    application: str
+    decisions: tuple[RouteDecision, ...] = ()
+
+    def _batch_decisions(self) -> "list[RouteDecision]":
+        return [d for d in self.decisions if not d.from_queue]
+
+    @property
+    def offered(self) -> int:
+        # a fallback sibling's offer re-counts the origin's overflow
+        return sum(
+            d.offered for d in self._batch_decisions() if not d.spilled_from
+        )
+
+    @property
+    def admitted(self) -> int:
+        return sum(d.admitted for d in self._batch_decisions())
+
+    @property
+    def rejected(self) -> int:
+        return sum(d.rejected for d in self._batch_decisions())
+
+    @property
+    def queued(self) -> int:
+        return sum(d.queued for d in self._batch_decisions())
+
+    @property
+    def executed_ok(self) -> int:
+        """Successful executions across every decision, retries included."""
+        return sum(d.result.ok_count for d in self.decisions if d.result)
+
+    def results(self) -> list[BatchResult]:
+        """Per-backend batch results, in dispatch order (retries included)."""
+        return [d.result for d in self.decisions if d.result is not None]
+
+
+class BackendRegistry:
+    """Named store of backend bindings — the service's ``DB(...)`` row."""
+
+    def __init__(self) -> None:
+        self._bindings: dict[str, BackendBinding] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self,
+        backend: Backend,
+        max_in_flight: int | None = None,
+        rate: float | None = None,
+        burst: float | None = None,
+        spill: SpillPolicy | str = SpillPolicy.REJECT,
+        fallback: str | None = None,
+        queue_capacity: int = 256,
+        clock=time.monotonic,
+    ) -> BackendBinding:
+        """Bind a backend behind a fresh admission controller."""
+        binding = BackendBinding(
+            backend=backend,
+            admission=AdmissionController(
+                max_in_flight=max_in_flight, rate=rate, burst=burst, clock=clock
+            ),
+            spill=SpillPolicy(spill),
+            fallback=fallback,
+            queue_capacity=queue_capacity,
+        )
+        with self._lock:
+            if backend.name in self._bindings:
+                raise BackendError(f"backend {backend.name!r} already registered")
+            self._bindings[backend.name] = binding
+        return binding
+
+    def get(self, name: str) -> BackendBinding:
+        with self._lock:
+            try:
+                return self._bindings[name]
+            except KeyError:
+                raise BackendError(f"unknown backend {name!r}") from None
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._bindings)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._bindings
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._bindings)
+
+    def snapshot(self) -> dict:
+        return {name: self.get(name).snapshot() for name in self.names()}
+
+
+class BatchRouter:
+    """Dispatch labeled batches to backends by predicted label.
+
+    The route table maps predicted label values (e.g. the routing
+    application's ``cluster``) to backend names. A label that already
+    *is* a registered backend name routes itself; anything else falls
+    back to the dispatch default (the application's bound backend),
+    then the router default.
+    """
+
+    def __init__(
+        self,
+        registry: BackendRegistry,
+        route_label: str = "cluster",
+        default_backend: str | None = None,
+        metrics: RuntimeMetrics | None = None,
+    ) -> None:
+        self.registry = registry
+        self.route_label = route_label
+        self.default_backend = default_backend
+        self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        self._routes: dict[object, str] = {}
+        self._lock = threading.Lock()
+
+    # -- route table ---------------------------------------------------------------
+
+    def set_route(self, label_value, backend_name: str) -> None:
+        """Map one predicted label value to a backend."""
+        if backend_name not in self.registry:
+            raise BackendError(f"unknown backend {backend_name!r}")
+        with self._lock:
+            self._routes[label_value] = backend_name
+
+    def routes(self) -> dict:
+        with self._lock:
+            return dict(self._routes)
+
+    def resolve(self, message: "LabeledQuery", default: str | None = None) -> str:
+        """Backend name for one labeled message."""
+        label = message.label(self.route_label)
+        with self._lock:
+            mapped = self._routes.get(label)
+        if mapped is not None:
+            return mapped
+        if label is not None and label in self.registry:
+            return str(label)
+        target = default or self.default_backend
+        if target is None:
+            raise BackendError(
+                f"no route for {self.route_label}={label!r} and no default backend"
+            )
+        return target
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def dispatch(
+        self,
+        application: str,
+        batch: "Sequence[LabeledQuery]",
+        default: str | None = None,
+    ) -> DispatchReport:
+        """Route one labeled batch; returns what happened per backend."""
+        if not batch:
+            return DispatchReport(application=application)
+        with self.metrics.stage("route"):
+            groups: dict[str, list[LabeledQuery]] = {}
+            for message in batch:
+                groups.setdefault(self.resolve(message, default), []).append(message)
+        decisions: list[RouteDecision] = []
+        for name, messages in groups.items():
+            binding = self.registry.get(name)
+            # parked work goes first: FIFO across dispatches
+            decisions.extend(self._drain_pending(binding))
+            decisions.extend(self._offer(binding, messages, allow_spill=True))
+        return DispatchReport(application=application, decisions=tuple(decisions))
+
+    def drain(self, backend_name: str) -> DispatchReport:
+        """Retry a backend's parked queue without new arrivals."""
+        binding = self.registry.get(backend_name)
+        return DispatchReport(
+            application="", decisions=tuple(self._drain_pending(binding))
+        )
+
+    def snapshot(self) -> dict:
+        """Per-backend counters + admission state, for ``stats()``."""
+        return self.registry.snapshot()
+
+    # -- internals -----------------------------------------------------------------
+
+    def _drain_pending(self, binding: BackendBinding) -> list[RouteDecision]:
+        if binding.spill is not SpillPolicy.QUEUE or not binding.pending_depth:
+            return []
+        parked = binding.take_pending()
+        if not parked:
+            return []
+        return self._offer(binding, parked, allow_spill=True, from_queue=True)
+
+    def _offer(
+        self,
+        binding: BackendBinding,
+        messages: "list[LabeledQuery]",
+        allow_spill: bool,
+        from_queue: bool = False,
+        spilled_from: str = "",
+    ) -> list[RouteDecision]:
+        """Admit what the gate allows, spill the rest, execute.
+
+        Returns one decision for this binding, plus the fallback
+        sibling's decision when overflow was spilled across. The
+        overflow is dispositioned *before* execution, so a backend
+        that raises (strict mode) can never silently drop it.
+        """
+        n = len(messages)
+        admitted_n = binding.admission.admit(n)
+        admitted, overflow = messages[:admitted_n], messages[admitted_n:]
+        binding.counters.add(batches=1, dispatched=n, admitted=admitted_n)
+
+        rejected = queued = 0
+        spilled_to = ""
+        sibling_decisions: list[RouteDecision] = []
+        if overflow:
+            policy = binding.spill if allow_spill else SpillPolicy.REJECT
+            if policy is SpillPolicy.QUEUE:
+                queued, rejected = binding.enqueue(overflow)
+                binding.counters.add(queued=queued, rejected=rejected)
+            elif policy is SpillPolicy.FALLBACK:
+                spilled_to = binding.fallback or ""
+                binding.counters.add(spilled=len(overflow))
+                sibling = self.registry.get(spilled_to)
+                # one hop only: the sibling's own overflow is rejected
+                sibling_decisions = self._offer(
+                    sibling, overflow, allow_spill=False,
+                    spilled_from=binding.name,
+                )
+            else:
+                rejected = len(overflow)
+                binding.counters.add(rejected=rejected)
+
+        result: BatchResult | None = None
+        if admitted:
+            start = time.perf_counter()
+            try:
+                with self.metrics.stage("execute"):
+                    result = binding.backend.execute([m.query for m in admitted])
+            finally:
+                binding.admission.release(admitted_n)
+            binding.counters.add(
+                executed_ok=result.ok_count,
+                failed=result.failed_count,
+                rows_returned=result.rows_returned,
+                cost_units=result.cost_units,
+                execute_seconds=time.perf_counter() - start,
+            )
+        return [
+            RouteDecision(
+                backend=binding.name,
+                offered=n,
+                admitted=admitted_n,
+                rejected=rejected,
+                queued=queued,
+                spilled_to=spilled_to,
+                spilled_from=spilled_from,
+                from_queue=from_queue,
+                result=result,
+            ),
+            *sibling_decisions,
+        ]

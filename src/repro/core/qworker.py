@@ -4,9 +4,11 @@
 operates multiple classifiers. Qworkers may not be entirely stateless,
 as some labeling tasks process a small window of queries. However, the
 state is assumed to be small..." (§2). The worker keeps exactly that: a
-bounded recent-query window, plus counters. Processed batches are both
-returned (for the database-bound path) and forked to a sink (the
-training module), covering the paper's fork-only deployment mode.
+bounded recent-query window, plus counters. Processed batches are
+forked to sinks (the training module) and — when the worker is on the
+critical path — handed to a *dispatcher* (the service wires in the
+:class:`~repro.backends.router.BatchRouter`), so the database-bound
+arrow of Figure 1 lands on a real backend instead of being dropped.
 """
 
 from __future__ import annotations
@@ -46,6 +48,10 @@ class QWorker:
         self.pipeline = pipeline if pipeline is not None else InferencePipeline()
         self.processed_count = 0
         self._sinks: list[Callable[[str, list[LabeledQuery]], None]] = []
+        # the database-bound path: set by the service to route labeled
+        # batches through the backend layer
+        self._dispatcher: Callable[[list[LabeledQuery]], object] | None = None
+        self.last_dispatch: object | None = None
 
     # -- classifier management -----------------------------------------------------
 
@@ -73,15 +79,32 @@ class QWorker:
         """Attach a consumer of labeled batches (e.g. the training module)."""
         self._sinks.append(sink)
 
+    def set_dispatcher(
+        self, dispatcher: Callable[[list[LabeledQuery]], object] | None
+    ) -> None:
+        """Wire the database-bound path (e.g. ``BatchRouter.dispatch``).
+
+        The dispatcher receives each labeled batch when
+        ``forward_to_database`` is set; its report is kept on
+        ``last_dispatch``.
+        """
+        self._dispatcher = dispatcher
+
     # -- processing -------------------------------------------------------------------
 
     def process_batch(self, batch: list[LabeledQuery]) -> list[LabeledQuery]:
         """Label a batch with every classifier and fan out to sinks.
 
-        Returns the labeled batch — what would be forwarded to the
-        database when the worker is on the critical path (or dropped
-        when ``forward_to_database`` is False, the forked mode).
+        Returns the labeled batch — forwarded through the dispatcher
+        (the backend router) when the worker is on the critical path,
+        or dropped when ``forward_to_database`` is False (the forked
+        mode).
         """
+        self.last_dispatch = None  # per-call: never report a stale dispatch
+        if not batch:
+            # zero queries: no pipeline run, no sink fan-out, no
+            # dispatch — and no metrics skew from empty batches
+            return []
         labeled = self.pipeline.run(list(batch), self._classifiers)
         self.window.extend(labeled)
         self.processed_count += len(labeled)
@@ -91,13 +114,30 @@ class QWorker:
                 sink(self.application, labeled)
             except Exception as exc:  # noqa: BLE001 - isolate sinks from each other
                 errors.append(exc)
-        if errors:
-            # every sink saw the batch; only now surface what failed
-            detail = "; ".join(f"{type(e).__name__}: {e}" for e in errors)
-            raise ServiceError(
-                f"{len(errors)} of {len(self._sinks)} sink(s) failed for "
-                f"worker {self.application!r}: {detail}"
-            ) from errors[0]
+        dispatch_error: Exception | None = None
+        if self.forward_to_database and self._dispatcher is not None:
+            # the database-bound path runs even when a training sink
+            # failed — forks must not drop critical-path work
+            try:
+                self.last_dispatch = self._dispatcher(labeled)
+            except Exception as exc:  # noqa: BLE001 - don't eat sink failures
+                dispatch_error = exc
+        if errors or dispatch_error:
+            # every sink (and the dispatcher) saw the batch; only now
+            # surface everything that failed, in one error
+            parts = []
+            if errors:
+                detail = "; ".join(f"{type(e).__name__}: {e}" for e in errors)
+                parts.append(
+                    f"{len(errors)} of {len(self._sinks)} sink(s) failed for "
+                    f"worker {self.application!r}: {detail}"
+                )
+            if dispatch_error:
+                parts.append(
+                    f"dispatch failed for worker {self.application!r}: "
+                    f"{type(dispatch_error).__name__}: {dispatch_error}"
+                )
+            raise ServiceError(" | ".join(parts)) from (errors + [dispatch_error])[0]
         return labeled if self.forward_to_database else []
 
     def recent(self, n: int) -> list[LabeledQuery]:

@@ -5,13 +5,23 @@ the registry subject to the log-sharing policy; every worker forks its
 labeled batches to the central training module; the model registry
 deploys trained classifiers back. ``process`` routes an incoming
 :class:`~repro.workloads.stream.StreamBatch` to its application's
-worker — the ``query(X, t)`` arrows.
+worker — the ``query(X, t)`` arrows — and the worker's labeled output
+flows through the :class:`~repro.backends.router.BatchRouter` onto the
+registered backends, the ``DB(X)``/``DB(Y)``/``DB(Z)`` boxes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.backends.base import Backend
+from repro.backends.router import (
+    BackendBinding,
+    BackendRegistry,
+    BatchRouter,
+    DispatchReport,
+    SpillPolicy,
+)
 from repro.core.classifier import QueryClassifier
 from repro.core.deployment import DeployedModel, ModelRegistry
 from repro.core.embedder import EmbedderRegistry
@@ -27,19 +37,34 @@ from repro.workloads.stream import StreamBatch
 
 @dataclass
 class Application:
-    """One tenant application and its worker."""
+    """One tenant application and its worker.
+
+    ``binding`` is the application's *default* backend — where its
+    queries land when no route-table entry claims their predicted
+    label. ``database`` stays the human-readable name of that binding
+    (or a bare placeholder string when the application is unbound).
+    """
 
     name: str
     worker: QWorker
     database: str = ""  # logical backing database, e.g. "DB(X)"
+    binding: BackendBinding | None = None
     labels_from_logs: tuple[str, ...] = ("user", "account", "cluster")
+
+    @property
+    def is_bound(self) -> bool:
+        return self.binding is not None
 
 
 class QuercService:
     """Top-level service object users interact with."""
 
     def __init__(
-        self, n_folds: int = 10, seed: int = 0, cache_capacity: int = 4096
+        self,
+        n_folds: int = 10,
+        seed: int = 0,
+        cache_capacity: int = 4096,
+        route_label: str = "cluster",
     ) -> None:
         self.embedders = EmbedderRegistry()
         self.training = TrainingModule(n_folds=n_folds, seed=seed)
@@ -48,6 +73,16 @@ class QuercService:
         # across applications, so their template-vector cache is too
         self.runtime = InferencePipeline(
             cache=EmbeddingCache(capacity=cache_capacity)
+        )
+        # the backend layer: router stages report into the same
+        # RuntimeMetrics as the inference pipeline, so stats() shows
+        # the whole critical path (fingerprint ... predict, route,
+        # execute) in one place
+        self.backends = BackendRegistry()
+        self.router = BatchRouter(
+            self.backends,
+            route_label=route_label,
+            metrics=self.runtime.metrics,
         )
         self._applications: dict[str, Application] = {}
 
@@ -59,8 +94,15 @@ class QuercService:
         database: str = "",
         forward_to_database: bool = True,
         window_size: int = 64,
+        backend: str = "",
     ) -> Application:
-        """Register an application; creates its Qworker wired to training."""
+        """Register an application; creates its Qworker wired to training.
+
+        ``backend`` optionally names an already-registered backend to
+        bind as the application's default database (see
+        :meth:`bind_application`); ``database`` remains the purely
+        descriptive label used when no backend is bound.
+        """
         if name in self._applications:
             raise ServiceError(f"application {name!r} already exists")
         worker = QWorker(
@@ -72,7 +114,50 @@ class QuercService:
         worker.add_sink(self.training.ingest)
         app = Application(name=name, worker=worker, database=database or f"DB({name})")
         self._applications[name] = app
+        if backend:
+            self.bind_application(name, backend)
         return app
+
+    # -- backend layer ------------------------------------------------------------
+
+    def register_backend(
+        self,
+        backend: Backend,
+        max_in_flight: int | None = None,
+        rate: float | None = None,
+        burst: float | None = None,
+        spill: SpillPolicy | str = SpillPolicy.REJECT,
+        fallback: str | None = None,
+        queue_capacity: int = 256,
+    ) -> BackendBinding:
+        """Register a database behind per-backend admission control."""
+        return self.backends.register(
+            backend,
+            max_in_flight=max_in_flight,
+            rate=rate,
+            burst=burst,
+            spill=spill,
+            fallback=fallback,
+            queue_capacity=queue_capacity,
+        )
+
+    def bind_application(self, application: str, backend_name: str) -> Application:
+        """Make ``backend_name`` the application's default database and
+        wire the worker's database-bound path through the router."""
+        app = self.application(application)
+        binding = self.backends.get(backend_name)  # raises if unknown
+        app.binding = binding
+        app.database = binding.name
+        app.worker.set_dispatcher(
+            lambda labeled, _name=app.name, _default=binding.name: (
+                self.router.dispatch(_name, labeled, default=_default)
+            )
+        )
+        return app
+
+    def map_route(self, label_value, backend_name: str) -> None:
+        """Route a predicted label value (e.g. a cluster) to a backend."""
+        self.router.set_route(label_value, backend_name)
 
     def application(self, name: str) -> Application:
         try:
@@ -132,22 +217,52 @@ class QuercService:
     # -- stream processing --------------------------------------------------------------
 
     def process(self, batch: StreamBatch) -> list[LabeledQuery]:
-        """Route one stream batch to its application's worker."""
+        """Route one stream batch to its application's worker.
+
+        When the application is bound to a backend, the labeled batch
+        also flows through the router onto the databases (see
+        :meth:`process_routed` for the dispatch report).
+        """
+        labeled, _ = self.process_routed(batch)
+        return labeled
+
+    def process_routed(
+        self, batch: StreamBatch
+    ) -> tuple[list[LabeledQuery], DispatchReport | None]:
+        """Label one stream batch and dispatch it to the backends.
+
+        Returns the labeled batch plus the router's
+        :class:`~repro.backends.router.DispatchReport` — ``None`` when
+        the application is unbound or in forked (non-forwarding) mode.
+        """
         app = self.application(batch.application)
         messages = [_to_message(record) for record in batch.records]
-        return app.worker.process_batch(messages)
+        labeled = app.worker.process_batch(messages)
+        # the worker clears last_dispatch per call, so whatever is
+        # there now belongs to this batch (or no dispatch happened)
+        report = app.worker.last_dispatch
+        return labeled, report if isinstance(report, DispatchReport) else None
 
     def stats(self) -> dict:
-        """Operational snapshot of the inference runtime.
+        """Operational snapshot of the service.
 
-        Includes per-stage timings, embedder ``transform`` call count,
-        cache hit rate / occupancy, batch dedup ratio, and per-
-        application processed counts.
+        ``runtime`` carries per-stage timings (including the router's
+        ``route``/``execute`` stages), embedder ``transform`` call
+        count, cache hit rate / occupancy, and batch dedup ratio;
+        ``backends`` carries per-backend dispatch counters (dispatched,
+        admitted, rejected, spilled, queued, executed, latency) plus
+        admission-gate state; ``applications`` the per-app processed
+        counts and bindings.
         """
         return {
             "runtime": self.runtime.snapshot(),
+            "backends": self.router.snapshot(),
             "applications": {
-                name: app.worker.processed_count
+                name: {
+                    "processed": app.worker.processed_count,
+                    "backend": app.binding.name if app.binding else None,
+                    "database": app.database,
+                }
                 for name, app in sorted(self._applications.items())
             },
         }

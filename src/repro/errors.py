@@ -69,3 +69,11 @@ class ServiceError(ReproError):
 
 class AdvisorError(ReproError):
     """Raised by the index advisor (invalid budget, unknown workload)."""
+
+
+class BackendError(ReproError):
+    """Raised by database backends and the batch router."""
+
+
+class AdmissionError(BackendError):
+    """Raised for invalid admission-control configuration."""

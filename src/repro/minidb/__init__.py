@@ -20,7 +20,7 @@ from repro.minidb.catalog import Catalog, ColumnMeta, TableMeta
 from repro.minidb.engine import Database, QueryResult
 from repro.minidb.indexes import Index, IndexConfig
 from repro.minidb.advisor import IndexAdvisor, AdvisorReport
-from repro.minidb.datagen import generate_tpch_database
+from repro.minidb.datagen import generate_tpch_database, materialize_log_tables
 
 __all__ = [
     "Catalog",
@@ -33,4 +33,5 @@ __all__ = [
     "IndexAdvisor",
     "AdvisorReport",
     "generate_tpch_database",
+    "materialize_log_tables",
 ]

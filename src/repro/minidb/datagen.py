@@ -392,3 +392,242 @@ def _lineitem(
             "l_comment": _comments(n, rng),
         },
     )
+
+
+# ---------------------------------------------------------------------------
+# Log-driven schemas: materialize tables for an arbitrary query log
+# ---------------------------------------------------------------------------
+
+_TYPE_PRIORITY = ("str", "date", "float", "int")
+_COMPARISONS = {"=", "<", ">", "<=", ">=", "<>", "!="}
+_ARITHMETIC = {"+", "-", "*", "/"}
+_NUMERIC_AGGS = {"SUM", "AVG"}
+
+
+class _ColumnEvidence:
+    """Type clues gathered for one (table, column) across a query log."""
+
+    def __init__(self) -> None:
+        self.kinds: set[str] = set()
+        self.numeric = False  # appeared under SUM/AVG or arithmetic
+        self.literals: list[object] = []
+
+    def see(self, kind: str, value: object | None = None) -> None:
+        self.kinds.add(kind)
+        if value is not None:
+            self.literals.append(value)
+
+    def dtype(self) -> str:
+        if self.numeric:
+            return "float"
+        for kind in _TYPE_PRIORITY:
+            if kind in self.kinds:
+                return kind
+        return "int"
+
+
+def materialize_log_tables(
+    queries: list[str], rows_per_table: int = 128, seed: int = 0
+) -> Database:
+    """Build a :class:`Database` whose schema satisfies a query log.
+
+    Parses every query, collects the base tables and columns it
+    references, infers a column type from how each column is used
+    (string/date/number literals it is compared against, arithmetic or
+    SUM/AVG usage forcing numeric), and materializes small tables whose
+    value pools include the observed literals — so point lookups and
+    IN-lists match some rows. This is what lets generated workloads
+    (e.g. SnowSim's per-tenant schemas) *execute* on a
+    :class:`~repro.backends.minidb_backend.MiniDBBackend` instead of
+    stopping at labels. Unparseable queries are skipped.
+    """
+    from repro.sql import ast as A
+    from repro.sql.parser import parse_select
+    from repro.errors import SQLError
+
+    if rows_per_table < 1:
+        raise WorkloadError("rows_per_table must be >= 1")
+    evidence: dict[str, dict[str, _ColumnEvidence]] = {}
+    for sql in queries:
+        try:
+            stmt = parse_select(sql)
+        except SQLError:
+            continue
+        _collect_statement(stmt, evidence, A)
+
+    rng = np.random.default_rng(seed)
+    database = Database()
+    for table_name in sorted(evidence):
+        columns = evidence[table_name]
+        if not columns:  # SELECT * only: give the table one key column
+            columns = {"id": _ColumnEvidence()}
+        dtypes: dict[str, str] = {}
+        data: dict[str, np.ndarray] = {}
+        for col_name in sorted(columns):
+            ev = columns[col_name]
+            dtype = ev.dtype()
+            dtypes[col_name] = dtype
+            data[col_name] = _column_values(dtype, ev, rows_per_table, rng)
+        database.load_table(Table(name=table_name, dtypes=dtypes, columns=data))
+    return database
+
+
+def _collect_statement(stmt, evidence, A) -> None:
+    """Accumulate per-table column evidence from one parsed statement."""
+    scope: dict[str, str] = {}  # binding (alias or name) -> table name
+    tables: list[str] = []
+
+    def add_relation(rel) -> None:
+        if isinstance(rel, A.TableRef):
+            scope[rel.binding] = rel.name
+            tables.append(rel.name)
+            evidence.setdefault(rel.name, {})
+        elif isinstance(rel, A.Join):
+            add_relation(rel.left)
+            add_relation(rel.right)
+        elif isinstance(rel, A.SubqueryRef):
+            _collect_statement(rel.subquery, evidence, A)
+
+    for rel in stmt.relations:
+        add_relation(rel)
+
+    def col_evidence(column) -> "list[_ColumnEvidence]":
+        """Evidence slots for a column reference (all tables in scope
+        when unqualified — harmless extra columns beat missing ones)."""
+        if column.table is not None:
+            target = scope.get(column.table)
+            targets = [target] if target else []
+        else:
+            # attribute unqualified references to the first table in
+            # scope only: adding the column to every table would make
+            # the reference ambiguous at plan time
+            targets = tables[:1]
+        return [
+            evidence.setdefault(t, {}).setdefault(column.name, _ColumnEvidence())
+            for t in targets
+        ]
+
+    def see_literal(column, literal) -> None:
+        kind = {"number": "float", "string": "str", "date": "date"}.get(literal.kind)
+        if kind is None:
+            return
+        value = literal.value
+        if kind == "float" and isinstance(value, (int, np.integer)):
+            kind = "int"
+        for slot in col_evidence(column):
+            slot.see(kind, value)
+
+    def walk(expr, numeric_context: bool = False) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, A.Column):
+            if numeric_context:
+                for slot in col_evidence(expr):
+                    slot.numeric = True
+            else:
+                for slot in col_evidence(expr):
+                    slot.see("int")  # weakest default evidence
+            return
+        if isinstance(expr, A.BinaryOp):
+            pairs = (
+                ((expr.left, expr.right), (expr.right, expr.left))
+                if expr.op in _COMPARISONS
+                else ()
+            )
+            for column, literal in pairs:
+                if isinstance(column, A.Column) and isinstance(literal, A.Literal):
+                    see_literal(column, literal)
+                    return
+            numeric = expr.op in _ARITHMETIC
+            walk(expr.left, numeric)
+            walk(expr.right, numeric)
+            return
+        if isinstance(expr, A.Between):
+            if isinstance(expr.expr, A.Column):
+                for bound in (expr.low, expr.high):
+                    if isinstance(bound, A.Literal):
+                        see_literal(expr.expr, bound)
+                return
+            for child in (expr.expr, expr.low, expr.high):
+                walk(child)
+            return
+        if isinstance(expr, A.InList):
+            if isinstance(expr.expr, A.Column):
+                for item in expr.items:
+                    if isinstance(item, A.Literal):
+                        see_literal(expr.expr, item)
+                return
+            walk(expr.expr)
+            return
+        if isinstance(expr, A.Like):
+            if isinstance(expr.expr, A.Column):
+                for slot in col_evidence(expr.expr):
+                    slot.see("str")
+            return
+        if isinstance(expr, A.FunctionCall):
+            force = expr.name in _NUMERIC_AGGS
+            for arg in expr.args:
+                walk(arg, numeric_context=force or numeric_context)
+            return
+        if isinstance(expr, (A.InSubquery, A.Exists, A.ScalarSubquery)):
+            sub = getattr(expr, "subquery", None)
+            if sub is not None:
+                _collect_statement(sub, evidence, A)
+            inner = getattr(expr, "expr", None)
+            if inner is not None:
+                walk(inner)
+            return
+        for child in A.iter_children(expr):
+            walk(child, numeric_context)
+
+    for item in stmt.items:
+        walk(getattr(item, "expr", None))
+    walk(stmt.where)
+    for expr in stmt.group_by:
+        walk(expr)
+    walk(stmt.having)
+    for order in stmt.order_by:
+        walk(getattr(order, "expr", None))
+
+    def join_conditions(rel) -> None:
+        if isinstance(rel, A.Join):
+            walk(rel.condition)
+            join_conditions(rel.left)
+            join_conditions(rel.right)
+
+    for rel in stmt.relations:
+        join_conditions(rel)
+
+
+def _column_values(
+    dtype: str, ev: _ColumnEvidence, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A value pool that mixes observed literals with filler values, so
+    log filters hit some (not all) rows."""
+    if dtype == "str":
+        observed = [str(v) for v in ev.literals if isinstance(v, str)]
+        pool = observed or ["alpha", "beta", "gamma"]
+        pool = list(dict.fromkeys(pool)) + ["filler_a", "filler_b"]
+        return np.asarray(rng.choice(pool, n), dtype=np.str_)
+    if dtype == "date":
+        days = [
+            date_to_days(v)
+            for v in ev.literals
+            if isinstance(v, str) and len(v) == 10
+        ]
+        lo = (min(days) - 30) if days else date_to_days("2018-01-01")
+        hi = (max(days) + 30) if days else date_to_days("2018-12-31")
+        return rng.integers(lo, hi + 1, n).astype(np.int32)
+    numbers = [float(v) for v in ev.literals if isinstance(v, (int, float))]
+    lo = min(numbers) if numbers else 0.0
+    hi = max(numbers) if numbers else 100.0
+    if lo == hi:
+        lo, hi = lo - 50.0, hi + 50.0
+    values = rng.uniform(lo, hi, n)
+    if numbers:  # plant exact literal values so point lookups can match
+        planted = rng.choice(np.asarray(numbers), max(1, n // 8))
+        values[: len(planted)] = planted
+        rng.shuffle(values)
+    if dtype == "int":
+        return values.astype(np.int64)
+    return values.astype(np.float64)

@@ -82,8 +82,22 @@ class Database:
         self, sql: str, config: IndexConfig | None = None
     ) -> QueryResult:
         """Plan under ``config``, execute, and report both cost views."""
-        plan = self.plan(sql, config)
         executor = Executor(self._tables, self.catalog, self.cost_model)
+        return self._run_one(executor, sql, config)
+
+    def execute_many(
+        self, sqls: list[str], config: IndexConfig | None = None
+    ) -> list[QueryResult]:
+        """Execute a batch, sharing one executor across the queries —
+        all-or-nothing: the first failure aborts the batch (used by
+        strict-mode backends; lenient backends execute per query)."""
+        executor = Executor(self._tables, self.catalog, self.cost_model)
+        return [self._run_one(executor, sql, config) for sql in sqls]
+
+    def _run_one(
+        self, executor: Executor, sql: str, config: IndexConfig | None
+    ) -> QueryResult:
+        plan = self.plan(sql, config)
         frame, stats = executor.run(plan)
         columns = list(frame.columns)
         rows = _frame_rows(frame)

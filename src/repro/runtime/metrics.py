@@ -8,21 +8,27 @@ invocations, cache hit rate, and the batch dedup ratio.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 STAGES = ("fingerprint", "dedup", "embed", "predict", "scatter")
+# the router's dispatch path reports into the same object
+ROUTING_STAGES = ("route", "execute")
+_ALL_STAGES = STAGES + ROUTING_STAGES
 
 
 @dataclass
 class RuntimeMetrics:
     """Counters and timings accumulated across pipeline batches.
 
-    Not synchronized: updates assume the single-threaded worker loop.
-    The async-Qworkers roadmap item owns making aggregation
-    concurrency-safe (the embedding cache underneath is already
-    locked).
+    Aggregation is thread-safe: ``add`` applies a multi-counter delta
+    atomically, ``stage`` accumulates its elapsed time under the same
+    lock, and ``snapshot`` returns an internally consistent view — so
+    routed dispatch and async workers can share one metrics object
+    without corrupting ``stats()``. Direct attribute writes remain
+    possible for single-threaded callers but bypass the lock.
     """
 
     batches: int = 0
@@ -33,8 +39,29 @@ class RuntimeMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     stage_seconds: dict[str, float] = field(
-        default_factory=lambda: {name: 0.0 for name in STAGES}
+        default_factory=lambda: {name: 0.0 for name in _ALL_STAGES}
     )
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
+    _COUNTERS = (
+        "batches",
+        "queries",
+        "unique_templates",
+        "embedded_templates",
+        "transform_calls",
+        "cache_hits",
+        "cache_misses",
+    )
+
+    def add(self, **deltas: int) -> None:
+        """Atomically apply a delta to one or more counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                if name not in self._COUNTERS:
+                    raise KeyError(f"unknown runtime counter {name!r}")
+                setattr(self, name, getattr(self, name) + delta)
 
     @contextmanager
     def stage(self, name: str):
@@ -43,9 +70,11 @@ class RuntimeMetrics:
         try:
             yield
         finally:
-            self.stage_seconds[name] = (
-                self.stage_seconds.get(name, 0.0) + time.perf_counter() - start
-            )
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self.stage_seconds[name] = (
+                    self.stage_seconds.get(name, 0.0) + elapsed
+                )
 
     @property
     def dedup_ratio(self) -> float:
@@ -62,27 +91,30 @@ class RuntimeMetrics:
         return self.cache_hits / total if total else 0.0
 
     def snapshot(self) -> dict:
-        """A plain-dict view for ``QuercService.stats()`` / dashboards."""
-        return {
-            "batches": self.batches,
-            "queries": self.queries,
-            "unique_templates": self.unique_templates,
-            "embedded_templates": self.embedded_templates,
-            "transform_calls": self.transform_calls,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_hit_rate": self.cache_hit_rate,
-            "dedup_ratio": self.dedup_ratio,
-            "stage_seconds": dict(self.stage_seconds),
-        }
+        """A plain-dict view for ``QuercService.stats()`` / dashboards.
+
+        Taken under the lock, so concurrent ``add``/``stage`` calls
+        can't produce a torn view (e.g. hits without their misses).
+        """
+        with self._lock:
+            hits, misses = self.cache_hits, self.cache_misses
+            queries, unique = self.queries, self.unique_templates
+            return {
+                "batches": self.batches,
+                "queries": queries,
+                "unique_templates": unique,
+                "embedded_templates": self.embedded_templates,
+                "transform_calls": self.transform_calls,
+                "cache_hits": hits,
+                "cache_misses": misses,
+                "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                "dedup_ratio": 1.0 - unique / queries if queries else 0.0,
+                "stage_seconds": dict(self.stage_seconds),
+            }
 
     def reset(self) -> None:
         """Zero every counter and timing (e.g. between bench phases)."""
-        self.batches = 0
-        self.queries = 0
-        self.unique_templates = 0
-        self.embedded_templates = 0
-        self.transform_calls = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.stage_seconds = {name: 0.0 for name in STAGES}
+        with self._lock:
+            for name in self._COUNTERS:
+                setattr(self, name, 0)
+            self.stage_seconds = {name: 0.0 for name in _ALL_STAGES}

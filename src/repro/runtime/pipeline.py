@@ -89,8 +89,7 @@ class InferencePipeline:
         if not classifiers:  # no inference happened; don't skew metrics
             return list(batch)
         m = self.metrics
-        m.batches += 1
-        m.queries += len(batch)
+        m.add(batches=1, queries=len(batch))
         queries = [message.query for message in batch]
 
         groups: dict[int, list[QueryClassifier]] = {}
@@ -129,8 +128,10 @@ class InferencePipeline:
                     predictions = classifier.predict_vectors(vectors)
                     for row, label in zip(label_rows, predictions):
                         row[classifier.label_name] = label
-        m.unique_templates += (
-            default_unique if default_unique is not None else (first_unique or 0)
+        m.add(
+            unique_templates=(
+                default_unique if default_unique is not None else (first_unique or 0)
+            )
         )
         with m.stage("scatter"):
             return [
@@ -156,9 +157,11 @@ class InferencePipeline:
         m = self.metrics
         fps = self._fingerprint(embedder, list(queries))
         representatives, unique_fps, inverse = self._collapse(list(queries), fps)
-        m.batches += 1
-        m.queries += len(queries)
-        m.unique_templates += len(representatives)
+        m.add(
+            batches=1,
+            queries=len(queries),
+            unique_templates=len(representatives),
+        )
         name = self._cache_name(embedder, embedder_name)
         unique_vectors = self._embed_unique(
             embedder, name, representatives, unique_fps
@@ -227,8 +230,7 @@ class InferencePipeline:
                 fresh = np.asarray(
                     embedder.transform(representatives), dtype=np.float64
                 )
-                m.transform_calls += 1
-                m.embedded_templates += len(representatives)
+                m.add(transform_calls=1, embedded_templates=len(representatives))
             return fresh
         with m.stage("embed"):
             vectors = np.empty(
@@ -241,12 +243,13 @@ class InferencePipeline:
                     missing.append(i)
                 else:
                     vectors[i] = hit
-            m.cache_hits += len(unique_fps) - len(missing)
-            m.cache_misses += len(missing)
+            m.add(
+                cache_hits=len(unique_fps) - len(missing),
+                cache_misses=len(missing),
+            )
             if missing:
                 fresh = embedder.transform([representatives[i] for i in missing])
-                m.transform_calls += 1
-                m.embedded_templates += len(missing)
+                m.add(transform_calls=1, embedded_templates=len(missing))
                 for i, row in zip(missing, fresh):
                     vectors[i] = row
                     self.cache.put(name, unique_fps[i], row)

@@ -427,6 +427,115 @@ class TestQWorkerSinkFanOut:
         out = worker.process_batch([LabeledQuery.make("SELECT 1")] * 3)
         assert got == [3] and len(out) == 3
 
+    def test_multiple_failures_aggregate_into_one_error(self):
+        worker = QWorker("W")
+
+        def boom_a(app, batch):
+            raise RuntimeError("sink A down")
+
+        def boom_b(app, batch):
+            raise ValueError("sink B confused")
+
+        delivered: list[str] = []
+        worker.add_sink(boom_a)
+        worker.add_sink(lambda app, batch: delivered.append(app))
+        worker.add_sink(boom_b)
+        with pytest.raises(ServiceError) as err:
+            worker.process_batch([LabeledQuery.make("SELECT 1")])
+        message = str(err.value)
+        assert "2 of 3 sink(s) failed" in message
+        # each failure is named with its type and detail
+        assert "RuntimeError: sink A down" in message
+        assert "ValueError: sink B confused" in message
+        # the first underlying failure is kept as the cause chain
+        assert isinstance(err.value.__cause__, RuntimeError)
+        assert delivered == ["W"]  # healthy sink between failures delivered
+
+    def test_state_updated_despite_sink_failure(self):
+        worker = QWorker("W", window_size=8)
+
+        def boom(app, batch):
+            raise RuntimeError("down")
+
+        worker.add_sink(boom)
+        with pytest.raises(ServiceError):
+            worker.process_batch([LabeledQuery.make("SELECT 1")] * 3)
+        assert worker.processed_count == 3
+        assert len(worker.recent(3)) == 3  # window kept the batch
+
+    def test_dispatch_runs_despite_sink_failure(self):
+        worker = QWorker("W")
+        dispatched: list[int] = []
+        worker.set_dispatcher(lambda labeled: dispatched.append(len(labeled)))
+
+        def boom(app, batch):
+            raise RuntimeError("down")
+
+        worker.add_sink(boom)
+        with pytest.raises(ServiceError):
+            worker.process_batch([LabeledQuery.make("SELECT 1")] * 2)
+        # the database-bound path is not dropped by a fork failure
+        assert dispatched == [2]
+
+    def test_dispatch_failure_does_not_eat_sink_errors(self):
+        worker = QWorker("W")
+
+        def boom_sink(app, batch):
+            raise RuntimeError("training sink down")
+
+        def boom_dispatch(labeled):
+            raise ValueError("backend gone")
+
+        worker.add_sink(boom_sink)
+        worker.set_dispatcher(boom_dispatch)
+        with pytest.raises(ServiceError) as err:
+            worker.process_batch([LabeledQuery.make("SELECT 1")])
+        message = str(err.value)
+        assert "RuntimeError: training sink down" in message
+        assert "dispatch failed" in message
+        assert "ValueError: backend gone" in message
+        # the first chronological failure (the sink) is the cause
+        assert isinstance(err.value.__cause__, RuntimeError)
+
+    def test_dispatch_failure_alone_surfaces(self):
+        worker = QWorker("W")
+
+        def boom_dispatch(labeled):
+            raise ValueError("backend gone")
+
+        worker.set_dispatcher(boom_dispatch)
+        with pytest.raises(ServiceError) as err:
+            worker.process_batch([LabeledQuery.make("SELECT 1")])
+        assert "dispatch failed" in str(err.value)
+        assert isinstance(err.value.__cause__, ValueError)
+        assert worker.last_dispatch is None  # nothing stale left behind
+
+    def test_forked_mode_skips_dispatcher(self):
+        worker = QWorker("W", forward_to_database=False)
+        dispatched: list[int] = []
+        worker.set_dispatcher(lambda labeled: dispatched.append(len(labeled)))
+        out = worker.process_batch([LabeledQuery.make("SELECT 1")])
+        assert out == []
+        assert dispatched == []
+
+
+class TestQWorkerEmptyBatch:
+    def test_empty_batch_short_circuits(self):
+        worker = QWorker("W")
+        sunk: list[int] = []
+        worker.add_sink(lambda app, batch: sunk.append(len(batch)))
+        dispatched: list[int] = []
+        worker.set_dispatcher(lambda labeled: dispatched.append(len(labeled)))
+        assert worker.process_batch([]) == []
+        assert sunk == []  # no sink fan-out for zero queries
+        assert dispatched == []  # no dispatch either
+        assert worker.processed_count == 0
+        # zero-cost metrics: the pipeline never ran
+        snap = worker.pipeline.metrics.snapshot()
+        assert snap["batches"] == 0
+        assert snap["queries"] == 0
+        assert all(v == 0.0 for v in snap["stage_seconds"].values())
+
 
 class TestServiceRuntimeStats:
     def test_stats_report_cache_hits_and_dedup(self, fitted_bow, snowsim_records):
@@ -454,7 +563,9 @@ class TestServiceRuntimeStats:
         assert runtime["transform_calls"] >= 1
         assert 0.0 <= runtime["dedup_ratio"] <= 1.0
         assert runtime["cache"]["size"] == len(service.runtime.cache)
-        assert stats["applications"] == {"X": 160}
+        assert stats["applications"]["X"]["processed"] == 160
+        assert stats["applications"]["X"]["backend"] is None  # unbound app
+        assert stats["backends"] == {}  # none registered
         assert set(runtime["stage_seconds"]) >= {
             "fingerprint", "dedup", "embed", "predict", "scatter",
         }
@@ -484,3 +595,68 @@ class TestRuntimeMetrics:
         metrics = RuntimeMetrics()
         assert metrics.dedup_ratio == 0.0
         assert metrics.cache_hit_rate == 0.0
+
+    def test_add_rejects_unknown_counter(self):
+        with pytest.raises(KeyError):
+            RuntimeMetrics().add(no_such_counter=1)
+
+    def test_reset_keeps_routing_stage_keys(self):
+        metrics = RuntimeMetrics()
+        with metrics.stage("route"):
+            pass
+        metrics.reset()
+        stage_seconds = metrics.snapshot()["stage_seconds"]
+        assert stage_seconds["route"] == 0.0
+        assert stage_seconds["execute"] == 0.0
+
+    def test_concurrent_aggregation_is_exact(self):
+        """Racing add()/stage() calls from many threads lose nothing."""
+        import threading
+
+        metrics = RuntimeMetrics()
+        n_threads, iterations = 8, 500
+
+        def hammer():
+            for _ in range(iterations):
+                metrics.add(batches=1, queries=3, cache_hits=2, cache_misses=1)
+                with metrics.stage("embed"):
+                    pass
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = metrics.snapshot()
+        total = n_threads * iterations
+        assert snap["batches"] == total
+        assert snap["queries"] == 3 * total
+        assert snap["cache_hits"] == 2 * total
+        assert snap["cache_misses"] == 1 * total
+        assert snap["cache_hit_rate"] == pytest.approx(2 / 3)
+        assert snap["stage_seconds"]["embed"] > 0.0
+
+    def test_snapshot_consistent_under_concurrent_writes(self):
+        """hits+misses in one snapshot always move in lockstep (2:1)."""
+        import threading
+
+        metrics = RuntimeMetrics()
+        stop = threading.Event()
+        torn: list[dict] = []
+
+        def writer():
+            while not stop.is_set():
+                metrics.add(cache_hits=2, cache_misses=1)
+
+        def reader():
+            for _ in range(2000):
+                snap = metrics.snapshot()
+                if snap["cache_hits"] != 2 * snap["cache_misses"]:
+                    torn.append(snap)
+            stop.set()
+
+        w = threading.Thread(target=writer)
+        r = threading.Thread(target=reader)
+        w.start(); r.start()
+        r.join(); stop.set(); w.join()
+        assert torn == []
