@@ -50,7 +50,13 @@ from repro.embedding import (
     QueryEmbedder,
 )
 from repro.errors import ReproError
-from repro.runtime import EmbeddingCache, InferencePipeline, RuntimeMetrics
+from repro.runtime import (
+    BatchSizeTuner,
+    EmbeddingCache,
+    InferencePipeline,
+    RuntimeMetrics,
+    StagedExecutor,
+)
 
 __version__ = "1.2.0"
 
@@ -71,6 +77,8 @@ __all__ = [
     "InferencePipeline",
     "EmbeddingCache",
     "RuntimeMetrics",
+    "StagedExecutor",
+    "BatchSizeTuner",
     "ReproError",
     "__version__",
 ]

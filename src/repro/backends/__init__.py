@@ -13,6 +13,7 @@
 
 from repro.backends.admission import AdmissionController, TokenBucket
 from repro.backends.base import Backend, BatchResult, NullBackend, QueryOutcome
+from repro.backends.latency import LatencyProxyBackend
 from repro.backends.minidb_backend import MiniDBBackend
 from repro.backends.router import (
     BackendBinding,
@@ -31,6 +32,7 @@ __all__ = [
     "BatchResult",
     "NullBackend",
     "QueryOutcome",
+    "LatencyProxyBackend",
     "MiniDBBackend",
     "BackendBinding",
     "BackendCounters",

@@ -1,0 +1,80 @@
+"""A backend proxy that models network/queueing latency.
+
+Every real deployment of Querc talks to its databases over a network;
+the admission and staging layers only pay off when backend calls cost
+wall time the caller could spend elsewhere. :class:`LatencyProxyBackend`
+wraps any :class:`~repro.backends.base.Backend` and charges a
+deterministic per-call plus per-query delay around the inner
+``execute`` — the standard harness for demonstrating (and testing)
+overlap in the staged executor without a remote database.
+
+The delay function is injectable: the default ``time.sleep`` yields
+the GIL exactly like a blocking socket would, while tests can pass a
+recorder to keep runs instant and deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Sequence
+
+from repro.backends.base import Backend, BatchResult
+from repro.errors import BackendError
+
+
+class LatencyProxyBackend(Backend):
+    """Delegate to an inner backend, adding deterministic latency.
+
+    ``per_batch_seconds`` models the round-trip/setup cost of one
+    ``execute`` call; ``per_query_seconds`` the per-query service
+    time. The proxy keeps the inner backend's name unless given its
+    own, so it can stand in transparently behind a registered binding.
+    """
+
+    def __init__(
+        self,
+        inner: Backend,
+        per_batch_seconds: float = 0.0,
+        per_query_seconds: float = 0.0,
+        name: str = "",
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        super().__init__(name or inner.name)
+        if per_batch_seconds < 0 or per_query_seconds < 0:
+            raise BackendError("latency must be non-negative")
+        self.inner = inner
+        self.per_batch_seconds = float(per_batch_seconds)
+        self.per_query_seconds = float(per_query_seconds)
+        self._sleep = sleep
+        # multiple dispatch threads can share one proxied backend
+        self._lock = threading.Lock()
+        self._slept_seconds = 0.0
+
+    def execute(self, queries: Sequence[str]) -> BatchResult:
+        delay = self.per_batch_seconds + self.per_query_seconds * len(queries)
+        if delay > 0:
+            self._sleep(delay)
+            with self._lock:
+                self._slept_seconds += delay
+        result = self.inner.execute(queries)
+        # outcomes are the inner backend's, re-badged under our name so
+        # reports/counters attribute them to the registered binding
+        if result.backend != self.name:
+            result = BatchResult(backend=self.name, outcomes=result.outcomes)
+        return result
+
+    @property
+    def slept_seconds(self) -> float:
+        """Total injected delay so far (not the inner execute time)."""
+        with self._lock:
+            return self._slept_seconds
+
+    def snapshot(self) -> dict:
+        return {
+            **super().snapshot(),
+            "inner": self.inner.snapshot(),
+            "per_batch_seconds": self.per_batch_seconds,
+            "per_query_seconds": self.per_query_seconds,
+            "slept_seconds": self.slept_seconds,
+        }

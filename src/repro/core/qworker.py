@@ -105,40 +105,88 @@ class QWorker:
             # zero queries: no pipeline run, no sink fan-out, no
             # dispatch — and no metrics skew from empty batches
             return []
+        errors: list[Exception] = []
+        labeled = self.label_batch(batch, collect_errors=errors)
+        dispatch_error: Exception | None = None
+        try:
+            self.dispatch_labeled(labeled)
+        except Exception as exc:  # noqa: BLE001 - don't eat sink failures
+            dispatch_error = exc
+        self.raise_failures(errors, dispatch_error)
+        return labeled if self.forward_to_database else []
+
+    def label_batch(
+        self,
+        batch: list[LabeledQuery],
+        collect_errors: list[Exception] | None = None,
+    ) -> list[LabeledQuery]:
+        """Stage A of the worker: run the pipeline and fan out to sinks.
+
+        This is the async drain mode used by the staged executor —
+        labeling happens here, dispatch happens later (possibly on
+        another thread) via :meth:`dispatch_labeled`. Sink failures are
+        appended to ``collect_errors`` when given (so a failed training
+        fork can't stop the batch from reaching its database), else
+        raised after every sink saw the batch.
+        """
+        if not batch:
+            return []
         labeled = self.pipeline.run(list(batch), self._classifiers)
         self.window.extend(labeled)
         self.processed_count += len(labeled)
-        errors: list[Exception] = []
+        errors: list[Exception] = [] if collect_errors is None else collect_errors
         for sink in self._sinks:
             try:
                 sink(self.application, labeled)
             except Exception as exc:  # noqa: BLE001 - isolate sinks from each other
                 errors.append(exc)
-        dispatch_error: Exception | None = None
-        if self.forward_to_database and self._dispatcher is not None:
-            # the database-bound path runs even when a training sink
-            # failed — forks must not drop critical-path work
-            try:
-                self.last_dispatch = self._dispatcher(labeled)
-            except Exception as exc:  # noqa: BLE001 - don't eat sink failures
-                dispatch_error = exc
-        if errors or dispatch_error:
-            # every sink (and the dispatcher) saw the batch; only now
-            # surface everything that failed, in one error
-            parts = []
-            if errors:
-                detail = "; ".join(f"{type(e).__name__}: {e}" for e in errors)
-                parts.append(
-                    f"{len(errors)} of {len(self._sinks)} sink(s) failed for "
-                    f"worker {self.application!r}: {detail}"
-                )
-            if dispatch_error:
-                parts.append(
-                    f"dispatch failed for worker {self.application!r}: "
-                    f"{type(dispatch_error).__name__}: {dispatch_error}"
-                )
-            raise ServiceError(" | ".join(parts)) from (errors + [dispatch_error])[0]
-        return labeled if self.forward_to_database else []
+        if collect_errors is None:
+            self.raise_failures(errors, None)
+        return labeled
+
+    def dispatch_labeled(self, labeled: list[LabeledQuery]):
+        """Stage B of the worker: hand a labeled batch to the dispatcher.
+
+        Runs the database-bound path even when a training sink failed —
+        forks must not drop critical-path work. Returns the dispatch
+        report (also kept on ``last_dispatch``), or None when the
+        worker is in forked mode or has no dispatcher.
+        """
+        if not self.forward_to_database or self._dispatcher is None or not labeled:
+            return None
+        self.last_dispatch = self._dispatcher(labeled)
+        return self.last_dispatch
+
+    def raise_failures(
+        self,
+        sink_errors: list[Exception],
+        dispatch_error: Exception | None,
+    ) -> None:
+        """Surface everything that failed for one batch, in one error.
+
+        Shared by the serial path and the staged executor so both
+        report sink and dispatch failures identically — and only after
+        every sink (and the dispatcher) saw the batch.
+        """
+        if not sink_errors and dispatch_error is None:
+            return
+        parts = []
+        if sink_errors:
+            detail = "; ".join(
+                f"{type(e).__name__}: {e}" for e in sink_errors
+            )
+            parts.append(
+                f"{len(sink_errors)} of {len(self._sinks)} sink(s) failed for "
+                f"worker {self.application!r}: {detail}"
+            )
+        if dispatch_error:
+            parts.append(
+                f"dispatch failed for worker {self.application!r}: "
+                f"{type(dispatch_error).__name__}: {dispatch_error}"
+            )
+        raise ServiceError(" | ".join(parts)) from (
+            sink_errors + ([dispatch_error] if dispatch_error else [])
+        )[0]
 
     def recent(self, n: int) -> list[LabeledQuery]:
         """The last ``n`` processed queries (windowed state)."""

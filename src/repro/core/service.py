@@ -30,7 +30,9 @@ from repro.core.qworker import QWorker
 from repro.core.training import TrainingModule
 from repro.errors import ServiceError
 from repro.runtime.cache import EmbeddingCache
+from repro.runtime.executor import StagedExecutor
 from repro.runtime.pipeline import InferencePipeline
+from repro.runtime.tuner import BatchSizeTuner
 from repro.workloads.logs import QueryLogRecord
 from repro.workloads.stream import StreamBatch
 
@@ -85,6 +87,11 @@ class QuercService:
             metrics=self.runtime.metrics,
         )
         self._applications: dict[str, Application] = {}
+        # concurrent serving state: the tuner adapts stream batch
+        # sizes off observed labeling cost; the last staged run's
+        # stats are kept for stats()
+        self._tuner: BatchSizeTuner | None = None
+        self._last_executor_stats: dict | None = None
 
     # -- topology -----------------------------------------------------------------
 
@@ -243,6 +250,90 @@ class QuercService:
         report = app.worker.last_dispatch
         return labeled, report if isinstance(report, DispatchReport) else None
 
+    # -- concurrent stream processing ---------------------------------------------
+
+    def set_batch_tuner(self, tuner: BatchSizeTuner | None) -> BatchSizeTuner | None:
+        """Attach a :class:`BatchSizeTuner`; the staged executor feeds
+        it per-batch labeling observations and the stream layer can ask
+        it for sizes (``repro.workloads.stream.rebatch_streams``)."""
+        self._tuner = tuner
+        return tuner
+
+    @property
+    def batch_tuner(self) -> BatchSizeTuner | None:
+        return self._tuner
+
+    def process_routed_concurrent(
+        self,
+        batches: "Iterable[StreamBatch]",
+        queue_depth: int = 4,
+        tuner: BatchSizeTuner | None = None,
+    ) -> "list[tuple[list[LabeledQuery], DispatchReport | None]]":
+        """Label and dispatch a run of stream batches concurrently.
+
+        The staged equivalent of calling :meth:`process_routed` in a
+        loop: batches flow through a
+        :class:`~repro.runtime.executor.StagedExecutor` with one lane
+        per application, so the embed/predict stage of batch *n+1*
+        overlaps the route/execute stage of batch *n*, and one
+        tenant's slow embedder cannot stall another tenant's stream.
+        Per-application ordering (and therefore labels and backend
+        outcomes) is identical to the serial loop.
+
+        ``batches`` is consumed lazily under the lanes' backpressure —
+        hand it the generator from
+        :func:`~repro.workloads.stream.rebatch_streams` and the
+        tuner's observations from early batches re-size the later
+        ones while the stream is still being consumed.
+
+        Returns one ``(labeled, report)`` pair per input batch, in
+        input order. The first batch failure is re-raised — but unlike
+        the serial loop, which stops at the failing batch, the
+        already-submitted work is drained first, so later batches
+        still reach the training sinks and backends before the error
+        surfaces. The executor's stats land in ``stats()["executor"]``
+        either way.
+        """
+        active_tuner = tuner if tuner is not None else self._tuner
+        executor = StagedExecutor(
+            self._stage_label,
+            self._stage_dispatch,
+            queue_depth=queue_depth,
+            tuner=active_tuner,
+        )
+        try:
+            return executor.map(batches)
+        finally:
+            # drain first, snapshot second: on a failed run the
+            # in-flight batches still land before the stats do
+            executor.close()
+            self._last_executor_stats = executor.stats()
+
+    def _stage_label(self, application: str, batch: StreamBatch):
+        """Executor stage A: convert the stream batch and label it.
+
+        Sink failures are collected, not raised — the batch must still
+        reach its database (stage B) before they surface.
+        """
+        app = self.application(application)
+        messages = [_to_message(record) for record in batch.records]
+        sink_errors: list[Exception] = []
+        labeled = app.worker.label_batch(messages, collect_errors=sink_errors)
+        return labeled, sink_errors
+
+    def _stage_dispatch(self, application: str, staged):
+        """Executor stage B: route + execute, then surface failures."""
+        labeled, sink_errors = staged
+        app = self.application(application)
+        dispatch_error: Exception | None = None
+        report = None
+        try:
+            report = app.worker.dispatch_labeled(labeled)
+        except Exception as exc:  # noqa: BLE001 - aggregate with sink failures
+            dispatch_error = exc
+        app.worker.raise_failures(sink_errors, dispatch_error)
+        return labeled, report if isinstance(report, DispatchReport) else None
+
     def stats(self) -> dict:
         """Operational snapshot of the service.
 
@@ -252,11 +343,16 @@ class QuercService:
         ``backends`` carries per-backend dispatch counters (dispatched,
         admitted, rejected, spilled, queued, executed, latency) plus
         admission-gate state; ``applications`` the per-app processed
-        counts and bindings.
+        counts and bindings; ``executor`` the last staged
+        (:meth:`process_routed_concurrent`) run's per-lane counters and
+        overlap; ``tuner`` the batch-size tuner's per-application
+        state (both None until used).
         """
         return {
             "runtime": self.runtime.snapshot(),
             "backends": self.router.snapshot(),
+            "executor": self._last_executor_stats,
+            "tuner": self._tuner.snapshot() if self._tuner is not None else None,
             "applications": {
                 name: {
                     "processed": app.worker.processed_count,

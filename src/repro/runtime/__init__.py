@@ -10,11 +10,19 @@ classifier. A bounded :class:`EmbeddingCache` carries template vectors
 across batches and workers; :class:`RuntimeMetrics` exposes per-stage
 timings, cache hit rate, and dedup ratio through
 ``QuercService.stats()``.
+
+On top of the pipeline, :class:`StagedExecutor` runs the label stage
+and the route/execute stage concurrently across batches, one lane per
+application (the paper's Qworker fan-out), and
+:class:`BatchSizeTuner` adapts stream batch sizes to the labeling cost
+those lanes actually observe.
 """
 
 from repro.runtime.cache import EmbeddingCache
+from repro.runtime.executor import StagedExecutor, StagedFuture
 from repro.runtime.metrics import STAGES, RuntimeMetrics
 from repro.runtime.pipeline import InferencePipeline, embed_queries
+from repro.runtime.tuner import BatchSizeTuner
 
 __all__ = [
     "EmbeddingCache",
@@ -22,4 +30,7 @@ __all__ = [
     "STAGES",
     "InferencePipeline",
     "embed_queries",
+    "StagedExecutor",
+    "StagedFuture",
+    "BatchSizeTuner",
 ]

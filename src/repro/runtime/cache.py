@@ -45,14 +45,49 @@ class EmbeddingCache:
             self.hits += 1
             return vector
 
+    def get_many(
+        self, embedder_name: str, fingerprints: "list[str]"
+    ) -> "list[np.ndarray | None]":
+        """Look up a whole batch under one lock acquisition.
+
+        Returns one entry per fingerprint (None on miss), refreshing
+        hits as most-recently-used and counting hits/misses exactly as
+        the per-key :meth:`get` would — but without paying the lock
+        once per fingerprint on the pipeline's per-batch hot path.
+        """
+        out: list[np.ndarray | None] = []
+        with self._lock:
+            for fingerprint in fingerprints:
+                key = (embedder_name, fingerprint)
+                vector = self._data.get(key)
+                if vector is None:
+                    self.misses += 1
+                else:
+                    self._data.move_to_end(key)
+                    self.hits += 1
+                out.append(vector)
+        return out
+
     def put(self, embedder_name: str, fingerprint: str, vector: np.ndarray) -> None:
         """Insert (or refresh) one template vector, evicting LRU entries."""
-        frozen = np.array(vector, dtype=np.float64, copy=True)
-        frozen.setflags(write=False)  # cached rows are shared; never mutate
-        key = (embedder_name, fingerprint)
+        self.put_many(embedder_name, [(fingerprint, vector)])
+
+    def put_many(
+        self,
+        embedder_name: str,
+        entries: "list[tuple[str, np.ndarray]]",
+    ) -> None:
+        """Insert (or refresh) a batch of template vectors under one
+        lock acquisition, evicting LRU entries once at the end."""
+        frozen_entries = []
+        for fingerprint, vector in entries:
+            frozen = np.array(vector, dtype=np.float64, copy=True)
+            frozen.setflags(write=False)  # cached rows are shared; never mutate
+            frozen_entries.append(((embedder_name, fingerprint), frozen))
         with self._lock:
-            self._data[key] = frozen
-            self._data.move_to_end(key)
+            for key, frozen in frozen_entries:
+                self._data[key] = frozen
+                self._data.move_to_end(key)
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
                 self.evictions += 1
@@ -68,8 +103,9 @@ class EmbeddingCache:
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from cache (0.0 when unused)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def clear(self) -> None:
         """Drop all entries; counters are preserved."""
@@ -77,14 +113,21 @@ class EmbeddingCache:
             self._data.clear()
 
     def snapshot(self) -> dict:
-        """Counters and occupancy for monitoring."""
+        """Counters and occupancy for monitoring.
+
+        Every field is read under one lock acquisition, so the counters
+        and the size are mutually consistent even while other threads
+        are hitting the cache (hits + misses always equals the number
+        of lookups that had finished when the snapshot was taken, and
+        ``hit_rate`` is derived from exactly those two values).
+        """
         with self._lock:
-            size = len(self._data)
-        return {
-            "size": size,
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+            hits, misses = self.hits, self.misses
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hits": hits,
+                "misses": misses,
+                "evictions": self.evictions,
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            }

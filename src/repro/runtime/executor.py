@@ -1,0 +1,328 @@
+"""Concurrent staged execution: the Qworker fan-out, made real.
+
+The paper's Figure 1 draws many Qworkers consuming per-application
+query streams side by side; until this layer the reproduction ran them
+strictly one batch at a time — fingerprint → embed → predict → route →
+execute in one thread, so a slow embedder on one application stalled
+every other tenant and the CPU idled while a backend executed.
+
+:class:`StagedExecutor` splits each batch's life into two stages and
+pipelines them across batches:
+
+* **stage A** — label: fingerprint + dedup + embed + predict on the
+  shared :class:`~repro.runtime.pipeline.InferencePipeline` (CPU
+  bound);
+* **stage B** — place: route + admission + execute on the
+  :class:`~repro.backends.router.BatchRouter` and its backends
+  (typically dominated by backend latency).
+
+Each application gets its own **lane**: one stage-A thread and one
+stage-B thread joined by a bounded hand-off queue. Within a lane,
+batch *n+1* is being embedded while batch *n* executes on its backend;
+across lanes, tenants proceed independently, so one application's slow
+embedder can no longer head-of-line-block another's stream. Both
+stages of one application stay single-threaded, which preserves the
+serial path's per-application ordering exactly — the labeled output
+and backend outcomes are the same, they just stop waiting on each
+other. The shared pieces (embedding cache, namespace assignment,
+``RuntimeMetrics``, admission controllers, backend counters) are all
+lock-safe already.
+
+Bounded queues give the executor backpressure end to end: when a
+backend falls behind, its lane's hand-off queue fills, stage A blocks,
+the lane's ingress queue fills, and finally ``submit`` blocks the
+producer — memory stays bounded no matter how fast batches arrive.
+
+A :class:`~repro.runtime.tuner.BatchSizeTuner` can be attached; every
+stage-A completion feeds it a ``(queries, seconds)`` observation, so
+the stream layer's batch sizes track the labeling cost the executor is
+actually measuring.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.runtime.tuner import BatchSizeTuner
+
+_SENTINEL = object()
+
+
+class StagedFuture:
+    """Completion handle for one submitted batch."""
+
+    __slots__ = ("application", "_event", "_value", "_error")
+
+    def __init__(self, application: str) -> None:
+        self.application = application
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: BaseException | None = None
+
+    def _resolve(self, value: Any = None, error: BaseException | None = None) -> None:
+        self._value = value
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        """The dispatch stage's return value; re-raises stage errors."""
+        if not self._event.wait(timeout):
+            raise ServiceError(
+                f"batch for {self.application!r} not done within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class _Lane:
+    """One application's pipeline: stage-A thread → queue → stage-B thread."""
+
+    def __init__(self, application: str, queue_depth: int) -> None:
+        self.application = application
+        self.ingress: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self.handoff: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self.label_thread: threading.Thread | None = None
+        self.dispatch_thread: threading.Thread | None = None
+        # serializes producers against shutdown: once `closed` is set
+        # (under this lock) the shutdown sentinel is the last entry the
+        # ingress queue will ever receive, so no future can be enqueued
+        # behind it and starve forever
+        self.submit_lock = threading.Lock()
+        self.closed = False
+        # counters are only written by the lane's own two threads; the
+        # lock makes stats() reads consistent
+        self.lock = threading.Lock()
+        self.submitted = 0
+        self.labeled_batches = 0
+        self.labeled_queries = 0
+        self.dispatched_batches = 0
+        self.label_seconds = 0.0
+        self.dispatch_seconds = 0.0
+        self.label_errors = 0
+        self.dispatch_errors = 0
+        self.max_handoff_depth = 0
+
+    def snapshot(self) -> dict:
+        with self.lock:
+            return {
+                "submitted": self.submitted,
+                "labeled_batches": self.labeled_batches,
+                "labeled_queries": self.labeled_queries,
+                "dispatched_batches": self.dispatched_batches,
+                "label_seconds": self.label_seconds,
+                "dispatch_seconds": self.dispatch_seconds,
+                "label_errors": self.label_errors,
+                "dispatch_errors": self.dispatch_errors,
+                "ingress_depth": self.ingress.qsize(),
+                "handoff_depth": self.handoff.qsize(),
+                "max_handoff_depth": self.max_handoff_depth,
+            }
+
+
+class StagedExecutor:
+    """Pipeline label (stage A) and place (stage B) across batches.
+
+    ``label_fn(application, item)`` produces the intermediate value
+    (the labeled batch); ``dispatch_fn(application, intermediate)``
+    places it and produces the future's result. Exceptions in either
+    stage resolve that batch's future with the error and leave every
+    other batch untouched.
+
+    Use as a context manager, or call :meth:`close` — pending work is
+    drained before the lanes shut down.
+    """
+
+    def __init__(
+        self,
+        label_fn: Callable[[str, Any], Any],
+        dispatch_fn: Callable[[str, Any], Any],
+        queue_depth: int = 4,
+        tuner: BatchSizeTuner | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if queue_depth < 1:
+            raise ServiceError("queue_depth must be >= 1")
+        self._label_fn = label_fn
+        self._dispatch_fn = dispatch_fn
+        self.queue_depth = int(queue_depth)
+        self.tuner = tuner
+        self._clock = clock
+        self._lanes: dict[str, _Lane] = {}
+        self._lanes_lock = threading.Lock()
+        self._closed = False
+        self._started_at = clock()
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, application: str, item: Any) -> StagedFuture:
+        """Queue one batch onto its application's lane.
+
+        Blocks when the lane's ingress queue is full — backpressure
+        from a slow stage propagates to the producer instead of
+        buffering without bound.
+        """
+        if self._closed:
+            raise ServiceError("executor is closed")
+        lane = self._lane(application)
+        future = StagedFuture(application)
+        with lane.submit_lock:
+            if lane.closed:
+                raise ServiceError("executor is closed")
+            with lane.lock:
+                lane.submitted += 1
+            # may block on backpressure while holding submit_lock; the
+            # lane's label thread keeps consuming until it sees the
+            # sentinel (which close() can only enqueue under this same
+            # lock), so the put always completes
+            lane.ingress.put((item, future))
+        return future
+
+    def map(self, items, application_of=None) -> list:
+        """Submit every item, wait, and return results in input order.
+
+        ``application_of`` extracts the lane key (defaults to the
+        item's ``application`` attribute — a
+        :class:`~repro.workloads.stream.StreamBatch` works as-is).
+        Raises the first failed batch's error, like the serial loop
+        would.
+        """
+        key = application_of or (lambda item: item.application)
+        futures = [self.submit(key(item), item) for item in items]
+        return [f.result() for f in futures]
+
+    # -- lanes ---------------------------------------------------------------------
+
+    def _lane(self, application: str) -> _Lane:
+        with self._lanes_lock:
+            if self._closed:
+                # close() snapshots lanes under this lock; a lane born
+                # after that snapshot would never get its sentinel
+                raise ServiceError("executor is closed")
+            lane = self._lanes.get(application)
+            if lane is None:
+                lane = _Lane(application, self.queue_depth)
+                lane.label_thread = threading.Thread(
+                    target=self._label_loop,
+                    args=(lane,),
+                    name=f"querc-label-{application}",
+                    daemon=True,
+                )
+                lane.dispatch_thread = threading.Thread(
+                    target=self._dispatch_loop,
+                    args=(lane,),
+                    name=f"querc-dispatch-{application}",
+                    daemon=True,
+                )
+                self._lanes[application] = lane
+                lane.label_thread.start()
+                lane.dispatch_thread.start()
+        return lane
+
+    def _label_loop(self, lane: _Lane) -> None:
+        while True:
+            entry = lane.ingress.get()
+            if entry is _SENTINEL:
+                lane.handoff.put(_SENTINEL)
+                return
+            item, future = entry
+            start = self._clock()
+            try:
+                staged = self._label_fn(lane.application, item)
+            except BaseException as exc:  # noqa: BLE001 - resolve, don't kill the lane
+                with lane.lock:
+                    lane.label_errors += 1
+                future._resolve(error=exc)
+                continue
+            elapsed = self._clock() - start
+            try:
+                n = len(item)
+            except TypeError:
+                n = 1
+            with lane.lock:
+                lane.labeled_batches += 1
+                lane.label_seconds += elapsed
+                lane.labeled_queries += n
+            if self.tuner is not None:
+                self.tuner.observe(n, elapsed, application=lane.application)
+            lane.handoff.put((staged, future))
+            with lane.lock:
+                lane.max_handoff_depth = max(
+                    lane.max_handoff_depth, lane.handoff.qsize()
+                )
+
+    def _dispatch_loop(self, lane: _Lane) -> None:
+        while True:
+            entry = lane.handoff.get()
+            if entry is _SENTINEL:
+                return
+            staged, future = entry
+            start = self._clock()
+            try:
+                result = self._dispatch_fn(lane.application, staged)
+            except BaseException as exc:  # noqa: BLE001 - resolve, don't kill the lane
+                with lane.lock:
+                    lane.dispatch_errors += 1
+                    lane.dispatch_seconds += self._clock() - start
+                future._resolve(error=exc)
+                continue
+            with lane.lock:
+                lane.dispatched_batches += 1
+                lane.dispatch_seconds += self._clock() - start
+            future._resolve(value=result)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain every lane and stop its threads (idempotent)."""
+        with self._lanes_lock:
+            if self._closed:
+                return
+            self._closed = True
+            lanes = list(self._lanes.values())
+        for lane in lanes:
+            with lane.submit_lock:
+                lane.closed = True
+                lane.ingress.put(_SENTINEL)
+        for lane in lanes:
+            if lane.label_thread is not None:
+                lane.label_thread.join()
+            if lane.dispatch_thread is not None:
+                lane.dispatch_thread.join()
+
+    def __enter__(self) -> "StagedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection -------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Per-lane counters plus an overlap estimate.
+
+        ``busy_seconds`` sums stage time across lanes; with
+        ``wall_seconds`` it bounds the concurrency the staged layout
+        actually achieved (busy/wall == 1.0 means no overlap at all).
+        """
+        with self._lanes_lock:
+            lanes = {app: lane.snapshot() for app, lane in self._lanes.items()}
+        busy = sum(
+            s["label_seconds"] + s["dispatch_seconds"] for s in lanes.values()
+        )
+        wall = max(self._clock() - self._started_at, 1e-12)
+        return {
+            "queue_depth": self.queue_depth,
+            "lanes": dict(sorted(lanes.items())),
+            "busy_seconds": busy,
+            "wall_seconds": wall,
+            "overlap": busy / wall,
+        }

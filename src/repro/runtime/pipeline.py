@@ -236,9 +236,12 @@ class InferencePipeline:
             vectors = np.empty(
                 (len(representatives), embedder.dimension), dtype=np.float64
             )
+            # one lock acquisition for the whole batch, not one per
+            # fingerprint — under concurrent lanes the cache lock is
+            # the one piece of shared state every worker touches
+            cached = self.cache.get_many(name, unique_fps)
             missing: list[int] = []
-            for i, fp in enumerate(unique_fps):
-                hit = self.cache.get(name, fp)
+            for i, hit in enumerate(cached):
                 if hit is None:
                     missing.append(i)
                 else:
@@ -252,7 +255,9 @@ class InferencePipeline:
                 m.add(transform_calls=1, embedded_templates=len(missing))
                 for i, row in zip(missing, fresh):
                     vectors[i] = row
-                    self.cache.put(name, unique_fps[i], row)
+                self.cache.put_many(
+                    name, [(unique_fps[i], row) for i, row in zip(missing, fresh)]
+                )
         return vectors
 
     def _cache_name(

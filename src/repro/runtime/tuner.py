@@ -1,0 +1,207 @@
+"""Batch-size autotuning from observed stage timings.
+
+The stream layer has to pick a batch size before it knows what the
+batch costs; the runtime knows exactly what batches cost (per-stage
+wall time in :class:`~repro.runtime.metrics.RuntimeMetrics`, per-batch
+timings in the staged executor) but has no say in batching. The
+:class:`BatchSizeTuner` closes that loop: it consumes per-batch
+``(queries, seconds)`` observations of the labeling stage and
+recommends the largest batch size whose expected stage-A latency still
+fits a configured budget — big batches keep the embed stage saturated
+(more dedup mass, fewer ``transform`` calls), small batches bound the
+tail latency a queued query can suffer behind its batch.
+
+Observations are smoothed with an exponential moving average of the
+*per-query* cost, so the recommendation converges under steady cost
+and re-converges after a cost shift (e.g. an embedder swap or a cache
+going cold). Growth per step is bounded so one outlier batch cannot
+slam the size across its whole range. State is kept per application —
+one tenant's slow embedder must not shrink another tenant's batches.
+
+Everything is deterministic: the tuner never sleeps and never reads a
+wall clock for its decisions; the injectable ``clock`` only timestamps
+observations for the ``snapshot()`` view.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from repro.errors import ServiceError
+from repro.runtime.metrics import STAGES as LABEL_STAGES
+
+# LABEL_STAGES are the pipeline's stage-A timings that feed
+# observe_stats(); ROUTING_STAGES (route/execute) are stage B and
+# deliberately excluded — batch size should track labeling cost, not
+# backend latency
+
+
+class _LaneState:
+    """Per-application tuning state (EWMA + current recommendation)."""
+
+    __slots__ = ("size", "per_query_ewma", "samples", "last_seconds", "last_at")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.per_query_ewma: float | None = None
+        self.samples = 0
+        self.last_seconds = 0.0
+        self.last_at: float | None = None
+
+
+class BatchSizeTuner:
+    """Adapt stream batch sizes toward a stage-A latency budget.
+
+    ``observe(queries, seconds)`` records what one labeled batch cost;
+    ``recommend()`` returns the batch size the stream layer should use
+    next. Thread-safe: executor lanes observe concurrently while the
+    stream layer asks for recommendations.
+    """
+
+    def __init__(
+        self,
+        initial: int = 32,
+        min_size: int = 8,
+        max_size: int = 512,
+        target_seconds: float = 0.05,
+        smoothing: float = 0.4,
+        max_growth: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not (1 <= min_size <= initial <= max_size):
+            raise ServiceError(
+                "need 1 <= min_size <= initial <= max_size, got "
+                f"min={min_size} initial={initial} max={max_size}"
+            )
+        if target_seconds <= 0:
+            raise ServiceError("target_seconds must be positive")
+        if not 0 < smoothing <= 1:
+            raise ServiceError("smoothing must be in (0, 1]")
+        if max_growth <= 1:
+            raise ServiceError("max_growth must be > 1")
+        self.initial = int(initial)
+        self.min_size = int(min_size)
+        self.max_size = int(max_size)
+        self.target_seconds = float(target_seconds)
+        self.smoothing = float(smoothing)
+        self.max_growth = float(max_growth)
+        self._clock = clock
+        self._lanes: dict[str, _LaneState] = {}
+        # per-application baselines for observe_stats(); one shared
+        # baseline would attribute tenant A's labeling cost to B
+        self._last_stats: dict[str, dict] = {}
+        self._lock = threading.Lock()
+
+    # -- observations --------------------------------------------------------------
+
+    def observe(
+        self, queries: int, seconds: float, application: str = ""
+    ) -> int:
+        """Record one batch's labeling cost; returns the new recommendation.
+
+        ``queries`` is the batch size that took ``seconds`` of stage-A
+        wall time. Zero-query or negative observations are ignored.
+        """
+        if queries <= 0 or seconds < 0:
+            return self.recommend(application)
+        per_query = seconds / queries
+        with self._lock:
+            lane = self._lanes.get(application)
+            if lane is None:
+                lane = self._lanes[application] = _LaneState(self.initial)
+            if lane.per_query_ewma is None:
+                lane.per_query_ewma = per_query
+            else:
+                lane.per_query_ewma += self.smoothing * (
+                    per_query - lane.per_query_ewma
+                )
+            lane.samples += 1
+            lane.last_seconds = seconds
+            lane.last_at = self._clock()
+            lane.size = self._fit(lane.size, lane.per_query_ewma)
+            return lane.size
+
+    def observe_stats(self, runtime_snapshot: dict, application: str = "") -> int:
+        """Feed the tuner from a ``QuercService.stats()['runtime']`` view.
+
+        Computes the delta in labeling-stage seconds and query count
+        since the previous call (baselines are kept per
+        ``application``) and treats it as one aggregate observation —
+        the hook for tuning off service-level metrics when per-batch
+        timings aren't available.
+
+        Attribution is only as scoped as the snapshot: the service's
+        default ``RuntimeMetrics`` aggregates every tenant, so with a
+        multi-application service this hook mixes tenants' labeling
+        cost into whichever ``application`` it is called for. Use it
+        with a single-tenant service (or a per-tenant metrics view);
+        the staged executor's per-batch :meth:`observe` feed is the
+        correctly-attributed path.
+        """
+        seconds = sum(
+            runtime_snapshot.get("stage_seconds", {}).get(s, 0.0)
+            for s in LABEL_STAGES
+        )
+        queries = int(runtime_snapshot.get("queries", 0))
+        with self._lock:
+            previous = self._last_stats.get(application)
+            self._last_stats[application] = {
+                "seconds": seconds,
+                "queries": queries,
+            }
+        if previous is not None:
+            seconds -= previous["seconds"]
+            queries -= previous["queries"]
+        if queries <= 0 or seconds < 0:
+            return self.recommend(application)
+        return self.observe(queries, seconds, application=application)
+
+    # -- recommendations -----------------------------------------------------------
+
+    def recommend(self, application: str = "") -> int:
+        """The batch size the stream layer should use next for this
+        application (``initial`` until observations arrive)."""
+        with self._lock:
+            lane = self._lanes.get(application)
+            return lane.size if lane is not None else self.initial
+
+    def _fit(self, current: int, per_query_ewma: float) -> int:
+        """Largest size whose expected latency fits the budget, with
+        per-step growth/shrink bounded by ``max_growth``."""
+        if per_query_ewma <= 0:
+            ideal = float(self.max_size)
+        else:
+            ideal = self.target_seconds / per_query_ewma
+        lo = current / self.max_growth
+        hi = current * self.max_growth
+        bounded = min(max(ideal, lo), hi)
+        return max(self.min_size, min(self.max_size, int(bounded)))
+
+    # -- introspection -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Config plus per-application state, for ``stats()``."""
+        with self._lock:
+            return {
+                "target_seconds": self.target_seconds,
+                "min_size": self.min_size,
+                "max_size": self.max_size,
+                "initial": self.initial,
+                "applications": {
+                    app: {
+                        "size": lane.size,
+                        "per_query_ewma_seconds": lane.per_query_ewma,
+                        "expected_batch_seconds": (
+                            lane.per_query_ewma * lane.size
+                            if lane.per_query_ewma is not None
+                            else None
+                        ),
+                        "samples": lane.samples,
+                        "last_batch_seconds": lane.last_seconds,
+                        "last_observed_at": lane.last_at,
+                    }
+                    for app, lane in sorted(self._lanes.items())
+                },
+            }

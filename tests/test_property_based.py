@@ -10,11 +10,15 @@ from repro.ml.metrics import accuracy_score, confusion_matrix
 from repro.ml.preprocess import LabelEncoder
 from repro.sql.lexer import tokenize
 from repro.sql.normalizer import normalize, templatize, token_stream
-from repro.sql.tokens import TokenType
+from repro.sql.tokens import KEYWORDS, TokenType
 
 # -- strategies --------------------------------------------------------------
 
-identifier = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+# a bare keyword ("as", "from", ...) is not a valid identifier; the
+# generated SELECTs must stay well-formed
+identifier = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper() not in KEYWORDS
+)
 number = st.integers(min_value=0, max_value=10**6)
 string_literal = st.from_regex(r"[a-zA-Z0-9 _%-]{0,12}", fullmatch=True)
 

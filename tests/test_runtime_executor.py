@@ -1,0 +1,464 @@
+"""The concurrent staged executor and the batch-size tuner.
+
+The overlap and isolation properties are proven with events, not
+timing: a test that requires stage B of batch *n* to wait on stage A
+of batch *n+1* can only pass when the stages genuinely run
+concurrently. Tuner tests drive the controller with synthetic
+observations and an injectable clock — fully deterministic, no sleeps.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.backends import NullBackend
+from repro.core import QuercService
+from repro.errors import ServiceError
+from repro.runtime import BatchSizeTuner, StagedExecutor
+from repro.workloads import (
+    QueryLogRecord,
+    QueryStream,
+    StreamBatch,
+    interleave_streams,
+    rebatch_streams,
+)
+
+WAIT = 20.0  # generous: only ever hit when pipelining is broken
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _records(n: int, tag: str = "q") -> list[QueryLogRecord]:
+    return [QueryLogRecord(query=f"select {tag}_{i} from t") for i in range(n)]
+
+
+def _batch(app: str, step: int, n: int = 4) -> StreamBatch:
+    return StreamBatch(
+        application=app, time_step=step, records=tuple(_records(n, f"{app}{step}"))
+    )
+
+
+# -- StagedExecutor -----------------------------------------------------------
+
+
+class TestStagedExecutor:
+    def test_results_in_order_with_both_stages_applied(self):
+        with StagedExecutor(
+            label_fn=lambda app, item: item * 2,
+            dispatch_fn=lambda app, staged: staged + 1,
+        ) as ex:
+            futures = [ex.submit("X", i) for i in range(10)]
+            assert [f.result(WAIT) for f in futures] == [
+                i * 2 + 1 for i in range(10)
+            ]
+
+    def test_stage_b_overlaps_stage_a_across_batches(self):
+        """Dispatch of batch 1 waits for batch 2's labeling — possible
+        only if the stages are pipelined across batches."""
+        second_labeled = threading.Event()
+        overlapped = []
+
+        def label(app, item):
+            if item == 2:
+                second_labeled.set()
+            return item
+
+        def dispatch(app, item):
+            if item == 1:
+                overlapped.append(second_labeled.wait(WAIT))
+            return item
+
+        with StagedExecutor(label, dispatch) as ex:
+            futures = [ex.submit("X", 1), ex.submit("X", 2)]
+            assert [f.result(WAIT) for f in futures] == [1, 2]
+        assert overlapped == [True]
+
+    def test_lanes_isolate_applications(self):
+        """A blocked stage A on one application must not stall another
+        application's lane."""
+        release_x = threading.Event()
+
+        def label(app, item):
+            if app == "X":
+                assert release_x.wait(WAIT)
+            return item
+
+        with StagedExecutor(label, lambda app, item: item) as ex:
+            slow = ex.submit("X", "stuck")
+            fast = [ex.submit("Y", i) for i in range(5)]
+            # Y's whole stream completes while X is still blocked
+            assert [f.result(WAIT) for f in fast] == list(range(5))
+            assert not slow.done()
+            release_x.set()
+            assert slow.result(WAIT) == "stuck"
+
+    def test_per_application_ordering_is_preserved(self):
+        seen: dict[str, list[int]] = {"X": [], "Y": []}
+        lock = threading.Lock()
+
+        def dispatch(app, item):
+            with lock:
+                seen[app].append(item)
+            return item
+
+        with StagedExecutor(lambda app, item: item, dispatch) as ex:
+            futures = [
+                ex.submit("X" if i % 2 == 0 else "Y", i) for i in range(20)
+            ]
+            [f.result(WAIT) for f in futures]
+        assert seen["X"] == [i for i in range(20) if i % 2 == 0]
+        assert seen["Y"] == [i for i in range(20) if i % 2 == 1]
+
+    def test_label_error_resolves_future_and_spares_the_lane(self):
+        def label(app, item):
+            if item == "bad":
+                raise ValueError("boom")
+            return item
+
+        with StagedExecutor(label, lambda app, item: item) as ex:
+            bad = ex.submit("X", "bad")
+            good = ex.submit("X", "good")
+            with pytest.raises(ValueError, match="boom"):
+                bad.result(WAIT)
+            assert good.result(WAIT) == "good"
+            stats = ex.stats()
+        assert stats["lanes"]["X"]["label_errors"] == 1
+        assert stats["lanes"]["X"]["dispatched_batches"] == 1
+
+    def test_dispatch_error_resolves_future(self):
+        def dispatch(app, item):
+            raise RuntimeError("db down")
+
+        with StagedExecutor(lambda app, item: item, dispatch) as ex:
+            future = ex.submit("X", 1)
+            with pytest.raises(RuntimeError, match="db down"):
+                future.result(WAIT)
+            assert ex.stats()["lanes"]["X"]["dispatch_errors"] == 1
+
+    def test_submit_after_close_raises(self):
+        ex = StagedExecutor(lambda app, item: item, lambda app, item: item)
+        ex.submit("X", 1)
+        ex.close()
+        ex.close()  # idempotent
+        with pytest.raises(ServiceError):
+            ex.submit("X", 2)
+
+    def test_new_lane_after_close_raises(self):
+        # a lane born after close() snapshotted the lane table would
+        # never get a shutdown sentinel — it must be refused instead
+        ex = StagedExecutor(lambda app, item: item, lambda app, item: item)
+        ex.submit("X", 1)
+        ex.close()
+        with pytest.raises(ServiceError):
+            ex.submit("Y", 1)
+
+    def test_submit_racing_close_never_strands_a_future(self):
+        # producers hammer submit while close() lands mid-stream: every
+        # future must either resolve or the submit must raise — none
+        # may silently queue behind the shutdown sentinel and hang
+        for _ in range(20):
+            ex = StagedExecutor(lambda app, item: item, lambda app, item: item)
+            futures: list = []
+            rejected = threading.Event()
+
+            def produce():
+                for i in range(50):
+                    try:
+                        futures.append(ex.submit("X", i))
+                    except ServiceError:
+                        rejected.set()
+                        return
+
+            producer = threading.Thread(target=produce)
+            producer.start()
+            ex.close()
+            producer.join(WAIT)
+            assert not producer.is_alive()
+            for future in futures:
+                assert future.result(WAIT) is not None
+            assert rejected.is_set() or len(futures) == 50
+
+    def test_map_keeps_input_order_across_lanes(self):
+        batches = [_batch("X", 0), _batch("Y", 0), _batch("X", 1)]
+        with StagedExecutor(
+            lambda app, b: (app, b.time_step), lambda app, staged: staged
+        ) as ex:
+            assert ex.map(batches) == [("X", 0), ("Y", 0), ("X", 1)]
+
+    def test_executor_feeds_tuner_with_batch_sizes(self):
+        tuner = BatchSizeTuner(initial=8, clock=FakeClock())
+        with StagedExecutor(
+            lambda app, b: b, lambda app, b: b, tuner=tuner
+        ) as ex:
+            ex.map([_batch("X", 0, n=6), _batch("Y", 0, n=3)])
+        snap = tuner.snapshot()["applications"]
+        assert snap["X"]["samples"] == 1
+        assert snap["Y"]["samples"] == 1
+
+    def test_stats_shape_and_bounded_queues(self):
+        with StagedExecutor(
+            lambda app, item: item, lambda app, item: item, queue_depth=2
+        ) as ex:
+            [f.result(WAIT) for f in [ex.submit("X", i) for i in range(12)]]
+            stats = ex.stats()
+        lane = stats["lanes"]["X"]
+        assert lane["submitted"] == lane["labeled_batches"] == 12
+        assert lane["dispatched_batches"] == 12
+        assert lane["max_handoff_depth"] <= 2
+        assert stats["queue_depth"] == 2
+        assert stats["busy_seconds"] >= 0
+        assert 0 <= stats["overlap"]
+
+    def test_invalid_queue_depth_rejected(self):
+        with pytest.raises(ServiceError):
+            StagedExecutor(lambda a, i: i, lambda a, i: i, queue_depth=0)
+
+
+# -- service wiring -----------------------------------------------------------
+
+
+class TestProcessRoutedConcurrent:
+    def _service(self) -> QuercService:
+        service = QuercService()
+        service.register_backend(NullBackend("DB(X)"))
+        service.register_backend(NullBackend("DB(Y)"))
+        service.add_application("X", backend="DB(X)")
+        service.add_application("Y", backend="DB(Y)")
+        return service
+
+    def _batches(self) -> list[StreamBatch]:
+        streams = [
+            QueryStream("X", _records(40, "x"), batch_size=8),
+            QueryStream("Y", _records(24, "y"), batch_size=8),
+        ]
+        return list(interleave_streams(streams))
+
+    def test_matches_serial_process_routed(self):
+        batches = self._batches()
+        concurrent = self._service()
+        serial = self._service()
+        got = concurrent.process_routed_concurrent(batches)
+        want = [serial.process_routed(b) for b in batches]
+        assert len(got) == len(want) == len(batches)
+        for (got_labeled, got_report), (want_labeled, want_report) in zip(
+            got, want
+        ):
+            assert [m.query for m in got_labeled] == [
+                m.query for m in want_labeled
+            ]
+            assert got_report is not None and want_report is not None
+            assert got_report.offered == want_report.offered
+            assert got_report.admitted == want_report.admitted
+            assert got_report.executed_ok == want_report.executed_ok
+
+    def test_stats_carry_executor_and_tuner_sections(self):
+        service = self._service()
+        assert service.stats()["executor"] is None
+        assert service.stats()["tuner"] is None
+        service.set_batch_tuner(BatchSizeTuner(initial=8, clock=FakeClock()))
+        service.process_routed_concurrent(self._batches())
+        stats = service.stats()
+        assert set(stats["executor"]["lanes"]) == {"X", "Y"}
+        assert stats["executor"]["lanes"]["X"]["labeled_queries"] == 40
+        assert set(stats["tuner"]["applications"]) == {"X", "Y"}
+
+    def test_sink_failure_surfaces_after_dispatch_ran(self):
+        """The training fork failing must not stop the batch from
+        reaching its database — same contract as the serial path."""
+        service = self._service()
+
+        def bad_sink(app, labeled):
+            raise RuntimeError("training fork down")
+
+        service.application("X").worker.add_sink(bad_sink)
+        backend = service.backends.get("DB(X)").backend
+        batches = [_batch("X", 0, n=5)]
+        with pytest.raises(ServiceError, match="sink"):
+            service.process_routed_concurrent(batches)
+        assert backend.accepted == 5  # dispatch still happened
+
+    def test_worker_state_matches_serial(self):
+        batches = self._batches()
+        concurrent = self._service()
+        serial = self._service()
+        concurrent.process_routed_concurrent(batches)
+        for b in batches:
+            serial.process_routed(b)
+        for name in ("X", "Y"):
+            got = concurrent.application(name).worker
+            want = serial.application(name).worker
+            assert got.processed_count == want.processed_count
+            assert [m.query for m in got.window] == [m.query for m in want.window]
+
+
+# -- BatchSizeTuner -----------------------------------------------------------
+
+
+class TestBatchSizeTuner:
+    def test_converges_to_latency_budget(self):
+        """Constant per-query cost c: the size settles at ~target/c and
+        the expected batch latency lands within the budget."""
+        cost = 0.001
+        tuner = BatchSizeTuner(
+            initial=8,
+            min_size=4,
+            max_size=512,
+            target_seconds=0.05,
+            clock=FakeClock(),
+        )
+        size = tuner.recommend()
+        for _ in range(12):
+            size = tuner.observe(size, size * cost)
+        assert size == 50  # target / cost
+        snap = tuner.snapshot()["applications"][""]
+        assert snap["expected_batch_seconds"] <= 0.05 + cost
+        # steady state: another observation doesn't move it
+        assert tuner.observe(size, size * cost) == 50
+
+    def test_reconverges_after_cost_shift(self):
+        tuner = BatchSizeTuner(
+            initial=32, min_size=4, max_size=512, target_seconds=0.04,
+            clock=FakeClock(),
+        )
+        size = tuner.recommend()
+        for _ in range(10):
+            size = tuner.observe(size, size * 0.0005)  # cheap: grows
+        assert size == 80
+        for _ in range(20):
+            size = tuner.observe(size, size * 0.004)  # 8x costlier: shrinks
+        assert size == 10
+
+    def test_growth_per_step_is_bounded(self):
+        tuner = BatchSizeTuner(
+            initial=16, max_size=1024, target_seconds=1.0, max_growth=2.0,
+            clock=FakeClock(),
+        )
+        assert tuner.observe(16, 16 * 1e-6) == 32  # ideal is huge; step capped
+        assert tuner.recommend() == 32
+
+    def test_shrink_per_step_is_bounded_and_clamped(self):
+        tuner = BatchSizeTuner(
+            initial=64, min_size=24, max_size=128, target_seconds=0.01,
+            max_growth=2.0, clock=FakeClock(),
+        )
+        assert tuner.observe(64, 64.0) == 32  # one step down, not a cliff
+        assert tuner.observe(32, 32.0) == 24  # clamped at min_size
+
+    def test_lanes_are_per_application(self):
+        tuner = BatchSizeTuner(
+            initial=32, min_size=4, max_size=512, target_seconds=0.05,
+            clock=FakeClock(),
+        )
+        for _ in range(10):
+            tuner.observe(tuner.recommend("X"), tuner.recommend("X") * 0.01, "X")
+            tuner.observe(tuner.recommend("Y"), tuner.recommend("Y") * 0.0001, "Y")
+        assert tuner.recommend("X") == 5  # slow app: small batches
+        assert tuner.recommend("Y") == 500  # fast app: big batches
+        assert tuner.recommend("Z") == 32  # unseen app: initial
+
+    def test_zero_and_negative_observations_ignored(self):
+        tuner = BatchSizeTuner(initial=32, clock=FakeClock())
+        assert tuner.observe(0, 1.0) == 32
+        assert tuner.observe(10, -1.0) == 32
+        assert tuner.snapshot()["applications"] == {}
+
+    def test_observe_stats_uses_label_stage_deltas(self):
+        tuner = BatchSizeTuner(
+            initial=32, min_size=4, max_size=512, target_seconds=0.05,
+            clock=FakeClock(),
+        )
+        first = {
+            "queries": 100,
+            "stage_seconds": {"embed": 0.5, "predict": 0.5, "route": 99.0},
+        }
+        # first call has no baseline: the cumulative totals are the delta
+        assert tuner.observe_stats(first) == 16  # 10ms/query, shrink capped
+        second = {
+            "queries": 200,
+            "stage_seconds": {"embed": 0.55, "predict": 0.55, "route": 999.0},
+        }
+        # delta: 100 queries, 0.1s; ewma-smoothed cost 6.4ms/query
+        # -> ideal ~7.8, floored at half the current size
+        assert tuner.observe_stats(second) == 8
+        assert tuner.snapshot()["applications"][""]["samples"] == 2
+
+    def test_injectable_clock_stamps_observations(self):
+        clock = FakeClock()
+        tuner = BatchSizeTuner(initial=16, clock=clock)
+        clock.advance(123.0)
+        tuner.observe(16, 0.01)
+        snap = tuner.snapshot()["applications"][""]
+        assert snap["last_observed_at"] == 123.0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ServiceError):
+            BatchSizeTuner(initial=4, min_size=8)
+        with pytest.raises(ServiceError):
+            BatchSizeTuner(target_seconds=0)
+        with pytest.raises(ServiceError):
+            BatchSizeTuner(smoothing=0)
+        with pytest.raises(ServiceError):
+            BatchSizeTuner(max_growth=1.0)
+
+
+# -- tuner-driven rebatching --------------------------------------------------
+
+
+class TestRebatchStreams:
+    def test_rechunks_interleaved_streams_per_application(self):
+        streams = [
+            QueryStream("X", _records(25, "x"), batch_size=4),
+            QueryStream("Y", _records(10, "y"), batch_size=3),
+        ]
+        sizes = {"X": 10, "Y": 7}
+        out = list(
+            rebatch_streams(interleave_streams(streams), lambda app: sizes[app])
+        )
+        x = [b for b in out if b.application == "X"]
+        y = [b for b in out if b.application == "Y"]
+        assert [len(b) for b in x] == [10, 10, 5]  # final flush is short
+        assert [len(b) for b in y] == [7, 3]
+        assert [b.time_step for b in x] == [0, 1, 2]
+        assert [b.time_step for b in y] == [0, 1]
+        # arrival order within each application is preserved exactly
+        assert [r.query for b in x for r in b.records] == [
+            r.query for r in _records(25, "x")
+        ]
+        assert [r.query for b in y for r in b.records] == [
+            r.query for r in _records(10, "y")
+        ]
+
+    def test_tuner_recommendations_apply_mid_stream(self):
+        tuner = BatchSizeTuner(
+            initial=5, min_size=2, max_size=64, target_seconds=0.05,
+            clock=FakeClock(),
+        )
+        stream = QueryStream("X", _records(30, "x"), batch_size=6)
+        out = []
+        for batch in rebatch_streams(stream.batches(), tuner):
+            out.append(len(batch))
+            # labeling got cheap: the tuner doubles the size (growth cap)
+            tuner.observe(len(batch), len(batch) * 1e-4, application="X")
+        assert out[0] == 5  # initial
+        assert out[1] > out[0]  # adapted while the stream was live
+        assert sum(out) == 30
+
+    def test_minimum_size_is_one(self):
+        out = list(
+            rebatch_streams(
+                QueryStream("X", _records(3, "x"), batch_size=3).batches(),
+                lambda app: 0,  # degenerate sizer: clamped to 1
+            )
+        )
+        assert [len(b) for b in out] == [1, 1, 1]
