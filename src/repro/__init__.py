@@ -33,8 +33,13 @@ Quickstart::
 from repro.backends import (
     BackendRegistry,
     BatchRouter,
+    CostBudgetPolicy,
+    LatencyEwmaPolicy,
+    LeastLoadedPolicy,
     MiniDBBackend,
+    RoutingPolicy,
     SpillPolicy,
+    StaticLabelPolicy,
 )
 from repro.core import (
     LabeledQuery,
@@ -63,8 +68,13 @@ __version__ = "1.2.0"
 __all__ = [
     "BackendRegistry",
     "BatchRouter",
+    "CostBudgetPolicy",
+    "LatencyEwmaPolicy",
+    "LeastLoadedPolicy",
     "MiniDBBackend",
+    "RoutingPolicy",
     "SpillPolicy",
+    "StaticLabelPolicy",
     "LabeledQuery",
     "QueryClassifier",
     "QuercService",

@@ -8,13 +8,27 @@
   bucket in front of each backend;
 * :class:`BackendRegistry` / :class:`BatchRouter` — group a labeled
   batch by its predicted route label, admit what each backend's gate
-  allows, and spill the rest (reject / queue / fallback).
+  allows, and spill the rest (reject / queue / fallback);
+* :class:`RoutingPolicy` and friends (:mod:`repro.backends.policy`) —
+  load-aware placement: re-rank a label's candidate backends per batch
+  against their live :class:`LoadSignal` (EWMA latency, admission
+  rejection rate, in-flight and queue depth) instead of following the
+  static route table.
 """
 
 from repro.backends.admission import AdmissionController, TokenBucket
 from repro.backends.base import Backend, BatchResult, NullBackend, QueryOutcome
 from repro.backends.latency import LatencyProxyBackend
 from repro.backends.minidb_backend import MiniDBBackend
+from repro.backends.policy import (
+    CandidateView,
+    CostBudgetPolicy,
+    LatencyEwmaPolicy,
+    LeastLoadedPolicy,
+    LoadSignal,
+    RoutingPolicy,
+    StaticLabelPolicy,
+)
 from repro.backends.router import (
     BackendBinding,
     BackendCounters,
@@ -34,6 +48,13 @@ __all__ = [
     "QueryOutcome",
     "LatencyProxyBackend",
     "MiniDBBackend",
+    "CandidateView",
+    "CostBudgetPolicy",
+    "LatencyEwmaPolicy",
+    "LeastLoadedPolicy",
+    "LoadSignal",
+    "RoutingPolicy",
+    "StaticLabelPolicy",
     "BackendBinding",
     "BackendCounters",
     "BackendRegistry",

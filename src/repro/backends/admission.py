@@ -73,6 +73,14 @@ class AdmissionController:
     spent); the caller must ``release(k)`` once the admitted work has
     finished executing. Tokens are consumed, not returned — the rate
     limit meters arrivals, the slots meter concurrency.
+
+    The gate also *publishes* its own history: cumulative
+    ``offered``/``granted`` counts, a lifetime :attr:`rejection_rate`,
+    and the live :attr:`headroom` (free fraction of the in-flight
+    bound). The load-aware routing policies
+    (:mod:`repro.backends.policy`) and the batch-size tuner's
+    admission feedback both consume these — a gate that is turning
+    work away is the signal to place elsewhere and batch smaller.
     """
 
     def __init__(
@@ -93,6 +101,8 @@ class AdmissionController:
             else None
         )
         self._in_flight = 0
+        self._offered = 0
+        self._granted = 0
         self._lock = threading.Lock()
 
     def admit(self, n: int) -> int:
@@ -100,12 +110,15 @@ class AdmissionController:
         if n <= 0:
             return 0
         with self._lock:
+            requested = n
             if self.max_in_flight is not None:
                 free = self.max_in_flight - self._in_flight
                 n = min(n, max(0, free))
             if n and self._bucket is not None:
                 n = self._bucket.take(n)
             self._in_flight += n
+            self._offered += requested
+            self._granted += n
             return n
 
     def release(self, n: int) -> None:
@@ -124,11 +137,41 @@ class AdmissionController:
         with self._lock:
             return self._in_flight
 
+    def _headroom_of(self, in_flight: int) -> float | None:
+        """Free fraction of the slot bound; shared by property and
+        snapshot so the formula cannot diverge (not locked — callers
+        hold the lock or pass a consistent reading)."""
+        if self.max_in_flight is None:
+            return None
+        return max(0, self.max_in_flight - in_flight) / self.max_in_flight
+
+    @staticmethod
+    def _rejection_rate_of(offered: int, granted: int) -> float:
+        return 1.0 - granted / offered if offered else 0.0
+
+    @property
+    def headroom(self) -> float | None:
+        """Free fraction of the in-flight bound (None when unbounded)."""
+        with self._lock:
+            return self._headroom_of(self._in_flight)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Lifetime fraction of offered units this gate turned away."""
+        with self._lock:
+            return self._rejection_rate_of(self._offered, self._granted)
+
     def snapshot(self) -> dict:
         with self._lock:
             return {
                 "in_flight": self._in_flight,
                 "max_in_flight": self.max_in_flight,
+                "headroom": self._headroom_of(self._in_flight),
+                "offered": self._offered,
+                "granted": self._granted,
+                "rejection_rate": self._rejection_rate_of(
+                    self._offered, self._granted
+                ),
                 "tokens_available": (
                     self._bucket.available if self._bucket else None
                 ),

@@ -90,6 +90,19 @@ class Backend(abc.ABC):
     def execute(self, queries: Sequence[str]) -> BatchResult:
         """Execute a batch of SQL texts, one outcome per query."""
 
+    def load_hint(self) -> dict:
+        """Static cost prior for the load-aware routing policies.
+
+        Returned keys seed a backend's
+        :class:`~repro.backends.policy.CandidateView` before any
+        execution has been observed — ``per_query_seconds`` is the
+        expected per-query latency (e.g. a proxy's configured delay, a
+        catalog's published service time). An empty dict (the default)
+        means no prior: policies treat the backend optimistically and
+        let the first dispatched batches price it.
+        """
+        return {}
+
     def snapshot(self) -> dict:
         """Engine-level state for dashboards; counters live in the
         router's per-backend ledger, not here."""

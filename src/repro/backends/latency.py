@@ -64,6 +64,14 @@ class LatencyProxyBackend(Backend):
             result = BatchResult(backend=self.name, outcomes=result.outcomes)
         return result
 
+    def load_hint(self) -> dict:
+        """Publish the configured per-query delay as a latency prior,
+        folded over the inner backend's own hint — a routing policy can
+        prefer the cheaper proxy before either has executed a batch."""
+        inner = self.inner.load_hint()
+        per_query = self.per_query_seconds + inner.get("per_query_seconds", 0.0)
+        return {**inner, "per_query_seconds": per_query}
+
     @property
     def slept_seconds(self) -> float:
         """Total injected delay so far (not the inner execute time)."""

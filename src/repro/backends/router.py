@@ -15,9 +15,23 @@ and applies the binding's spill policy to the overflow:
 * ``FALLBACK`` — offer the overflow to a designated sibling backend,
   subject to *its* admission control (one hop, no cascading).
 
+Where the work lands is decided in one of two ways. Without a policy,
+the router follows the static ``map_route`` table (label → backend,
+falling back to the dispatch default). With a
+:class:`~repro.backends.policy.RoutingPolicy` installed, the router
+*re-ranks* the label's candidate backends once per batch against their
+live :class:`~repro.backends.policy.CandidateView`\\ s — EWMA execute
+latency, admission rejection rate, in-flight depth, parked queue depth
+— and dispatches to the ranking's head; a policy that abstains falls
+back to the static chain. When one batch splits across several
+backends, the groups execute in parallel on a shared fan-out pool
+instead of sequentially.
+
 Every decision is counted per backend — dispatched, admitted,
 rejected, spilled, executed, per-backend latency — and surfaces in
-``QuercService.stats()``.
+``QuercService.stats()``. The per-backend counters are updated in one
+atomic step per offer, so a snapshot taken mid-dispatch always
+satisfies ``dispatched == admitted + rejected + queued + spilled``.
 """
 
 from __future__ import annotations
@@ -26,12 +40,14 @@ import threading
 import time
 from collections import deque
 from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING
 
 from repro.backends.admission import AdmissionController
 from repro.backends.base import Backend, BatchResult
+from repro.backends.policy import CandidateView, LoadSignal, RoutingPolicy
 from repro.errors import BackendError
 from repro.runtime.metrics import RuntimeMetrics
 
@@ -76,6 +92,14 @@ class BackendCounters:
                     raise BackendError(f"unknown counter {name!r}")
                 setattr(self, name, getattr(self, name) + delta)
 
+    def value(self, name: str):
+        """One counter, read under the lock — for hot-path consumers
+        that must not pay for a full :meth:`snapshot`."""
+        if name not in self._FIELDS:
+            raise BackendError(f"unknown counter {name!r}")
+        with self._lock:
+            return getattr(self, name)
+
     def snapshot(self) -> dict:
         with self._lock:
             out = {name: getattr(self, name) for name in self._FIELDS}
@@ -108,6 +132,9 @@ class BackendBinding:
         self.spill = spill
         self.fallback = fallback
         self.counters = BackendCounters()
+        # the feedback the routing policies consume: EWMA execute
+        # latency + admission churn, fed by the router's dispatch path
+        self.load_signal = LoadSignal()
         self._pending: deque[LabeledQuery] = deque()
         self._queue_capacity = queue_capacity
         self._pending_lock = threading.Lock()
@@ -138,12 +165,34 @@ class BackendBinding:
         with self._pending_lock:
             return len(self._pending)
 
+    def load_view(self) -> CandidateView:
+        """This backend's live load, as the routing policies see it.
+
+        The latency EWMA falls back to the backend's
+        :meth:`~repro.backends.base.Backend.load_hint` prior until the
+        first execution has been observed.
+        """
+        signal = self.load_signal.snapshot()
+        latency = signal["latency_ewma_seconds"]
+        if latency is None:
+            latency = self.backend.load_hint().get("per_query_seconds")
+        return CandidateView(
+            name=self.name,
+            latency_ewma=latency,
+            rejection_rate=signal["rejection_ewma"],
+            in_flight=self.admission.in_flight,
+            headroom=self.admission.headroom,
+            pending=self.pending_depth,
+            cost_units=self.counters.value("cost_units"),
+        )
+
     def snapshot(self) -> dict:
         return {
             **self.counters.snapshot(),
             "spill": self.spill.value,
             "fallback": self.fallback,
             "pending": self.pending_depth,
+            "load": self.load_signal.snapshot(),
             "admission": self.admission.snapshot(),
             "backend": self.backend.snapshot(),
         }
@@ -276,11 +325,32 @@ class BackendRegistry:
 class BatchRouter:
     """Dispatch labeled batches to backends by predicted label.
 
-    The route table maps predicted label values (e.g. the routing
-    application's ``cluster``) to backend names. A label that already
-    *is* a registered backend name routes itself; anything else falls
-    back to the dispatch default (the application's bound backend),
-    then the router default.
+    The static chain: the route table maps predicted label values
+    (e.g. the routing application's ``cluster``) to backend names; a
+    label that already *is* a registered backend name routes itself;
+    anything else falls back to the dispatch default (the
+    application's bound backend), then the router default.
+
+    Installing a :class:`~repro.backends.policy.RoutingPolicy` (see
+    :meth:`set_policy`) turns the static table into one input among
+    several: for every distinct label in a batch, the router builds a
+    :class:`~repro.backends.policy.CandidateView` per candidate
+    backend (the label's explicit candidate set from
+    :meth:`set_candidates`, else every registered backend) and asks
+    the policy for a preference order. The first recognized name wins
+    the whole label group for this batch — placement tracks backend
+    load at batch granularity. A policy that abstains (empty ranking,
+    or an explicitly empty candidate set) falls back to the static
+    chain, so a policy can refine routing but never strand a label
+    the table could place.
+
+    When a batch resolves to more than one backend, the per-backend
+    groups are offered and executed in parallel on a shared fan-out
+    thread pool (``fanout_workers``; set it to 0 or 1 to keep the
+    sequential path). Counters, admission gates, spill queues and load
+    signals are all thread-safe, so concurrent groups — including a
+    FALLBACK hop into a sibling that is itself executing — stay
+    consistent.
     """
 
     def __init__(
@@ -289,12 +359,24 @@ class BatchRouter:
         route_label: str = "cluster",
         default_backend: str | None = None,
         metrics: RuntimeMetrics | None = None,
+        policy: RoutingPolicy | None = None,
+        fanout_workers: int = 4,
     ) -> None:
+        if fanout_workers < 0:
+            raise BackendError("fanout_workers must be >= 0")
         self.registry = registry
         self.route_label = route_label
         self.default_backend = default_backend
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        self.fanout_workers = int(fanout_workers)
         self._routes: dict[object, str] = {}
+        self._policy = policy
+        self._candidates: dict[object, tuple[str, ...]] = {}
+        # policy bookkeeping for stats()["routing"]
+        self._reranks = 0
+        self._static_fallbacks = 0
+        self._decisions: dict[object, dict[str, int]] = {}
+        self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
 
     # -- route table ---------------------------------------------------------------
@@ -309,6 +391,75 @@ class BatchRouter:
     def routes(self) -> dict:
         with self._lock:
             return dict(self._routes)
+
+    # -- routing policy ------------------------------------------------------------
+
+    def set_policy(self, policy: RoutingPolicy | None) -> RoutingPolicy | None:
+        """Install (or clear) the load-aware routing policy."""
+        with self._lock:
+            self._policy = policy
+        return policy
+
+    @property
+    def policy(self) -> RoutingPolicy | None:
+        with self._lock:
+            return self._policy
+
+    def set_candidates(self, label_value, backend_names: Sequence[str]) -> None:
+        """Constrain a label's candidate set for policy ranking.
+
+        Every name must be registered. An *empty* sequence is allowed
+        and means "no backend is eligible for this label" — the policy
+        is never consulted and the router falls back to the static
+        chain (which may itself raise when nothing resolves). Labels
+        without an entry consider every registered backend.
+        """
+        names = tuple(backend_names)
+        for name in names:
+            if name not in self.registry:
+                raise BackendError(f"unknown backend {name!r}")
+        with self._lock:
+            self._candidates[label_value] = names
+
+    def candidates(self, label_value) -> tuple[str, ...] | None:
+        """The label's explicit candidate set (None = all backends)."""
+        with self._lock:
+            return self._candidates.get(label_value)
+
+    def _policy_target(
+        self, label, policy: RoutingPolicy, view_cache: dict
+    ) -> str | None:
+        """One policy consultation; None when the policy abstains.
+
+        ``view_cache`` (one dict per dispatch call) memoizes the
+        candidate views per distinct candidate set — views are
+        label-independent, so a 16-label batch over one default set
+        builds them once, and every label in the batch ranks against
+        the same load snapshot.
+        """
+        with self._lock:
+            names = self._candidates.get(label)
+            mapped = self._routes.get(label)
+        if names is None:
+            names = self.registry.names()
+        if mapped is None and label is not None and label in self.registry:
+            mapped = str(label)
+        if not names:
+            return None
+        allowed = tuple(sorted(name for name in names if name in self.registry))
+        views = view_cache.get(allowed)
+        if views is None:
+            views = view_cache[allowed] = [
+                self.registry.get(name).load_view() for name in allowed
+            ]
+        with self._lock:
+            self._reranks += 1
+        # the ranking may only pick from the label's candidate set — a
+        # policy returning an outside name (even `mapped`) is ignored
+        for name in policy.rank(label, views, mapped=mapped):
+            if name in allowed:
+                return name
+        return None
 
     def resolve(self, message: "LabeledQuery", default: str | None = None) -> str:
         """Backend name for one labeled message."""
@@ -334,20 +485,130 @@ class BatchRouter:
         batch: "Sequence[LabeledQuery]",
         default: str | None = None,
     ) -> DispatchReport:
-        """Route one labeled batch; returns what happened per backend."""
+        """Route one labeled batch; returns what happened per backend.
+
+        With a policy installed, each distinct label is re-ranked once
+        per batch against the candidates' live load; without one, the
+        static route table decides. Multi-backend batches fan out in
+        parallel on the shared pool (errors from every group are
+        awaited; the first, in group order, is re-raised).
+        """
         if not batch:
             return DispatchReport(application=application)
+        policy = self.policy
         with self.metrics.stage("route"):
             groups: dict[str, list[LabeledQuery]] = {}
-            for message in batch:
-                groups.setdefault(self.resolve(message, default), []).append(message)
-        decisions: list[RouteDecision] = []
-        for name, messages in groups.items():
-            binding = self.registry.get(name)
-            # parked work goes first: FIFO across dispatches
-            decisions.extend(self._drain_pending(binding))
-            decisions.extend(self._offer(binding, messages, allow_spill=True))
-        return DispatchReport(application=application, decisions=tuple(decisions))
+            if policy is None:
+                for message in batch:
+                    groups.setdefault(
+                        self.resolve(message, default), []
+                    ).append(message)
+            else:
+                targets: dict[object, str | None] = {}
+                view_cache: dict = {}
+                for message in batch:
+                    label = message.label(self.route_label)
+                    if label not in targets:
+                        targets[label] = self._policy_target(
+                            label, policy, view_cache
+                        )
+                    target = targets[label]
+                    if target is None:
+                        # policy abstained: the static chain decides
+                        target = self.resolve(message, default)
+                    groups.setdefault(target, []).append(message)
+                with self._lock:
+                    # both counters are per (label, batch), the same
+                    # unit as a rerank — their sum is the number of
+                    # placement consultations this batch
+                    for label, target in targets.items():
+                        if target is None:
+                            self._static_fallbacks += 1
+                            continue
+                        per_label = self._decisions.setdefault(label, {})
+                        per_label[target] = per_label.get(target, 0) + 1
+        return DispatchReport(
+            application=application,
+            decisions=tuple(self._dispatch_groups(groups)),
+        )
+
+    def _dispatch_groups(
+        self, groups: "dict[str, list[LabeledQuery]]"
+    ) -> "list[RouteDecision]":
+        """Offer every per-backend group; in parallel when k > 1.
+
+        Decisions come back in group (insertion) order either way, so
+        reports are deterministic; only the execution overlaps.
+        """
+        items = list(groups.items())
+        pool = self._fanout_pool() if len(items) > 1 else None
+        if pool is None:
+            decisions: list[RouteDecision] = []
+            for name, messages in items:
+                decisions.extend(self._dispatch_group(name, messages))
+            return decisions
+        # a slot per group, in group order: parallel futures where the
+        # pool accepts them, inline calls if close() raced us mid-batch
+        slots: list[tuple[str, object]] = []
+        for name, messages in items:
+            if pool is not None:
+                try:
+                    slots.append(
+                        ("future", pool.submit(self._dispatch_group, name, messages))
+                    )
+                    continue
+                except RuntimeError:
+                    # pool shut down concurrently; finish sequentially
+                    pool = None
+            slots.append(("call", (name, messages)))
+        collected: list[list[RouteDecision]] = []
+        first_error: BaseException | None = None
+        for kind, payload in slots:
+            try:
+                if kind == "future":
+                    collected.append(payload.result())
+                else:
+                    name, messages = payload
+                    collected.append(self._dispatch_group(name, messages))
+            except BaseException as exc:  # noqa: BLE001 - await all, raise first
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return [decision for group in collected for decision in group]
+
+    def _dispatch_group(
+        self, name: str, messages: "list[LabeledQuery]"
+    ) -> "list[RouteDecision]":
+        binding = self.registry.get(name)
+        # parked work goes first: FIFO across dispatches
+        decisions = self._drain_pending(binding)
+        decisions.extend(self._offer(binding, messages, allow_spill=True))
+        return decisions
+
+    def _fanout_pool(self) -> ThreadPoolExecutor | None:
+        if self.fanout_workers <= 1:
+            return None
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.fanout_workers,
+                    thread_name_prefix="querc-fanout",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Release the fan-out pool's threads (idempotent).
+
+        In-flight groups are drained first. A later multi-backend
+        dispatch lazily recreates the pool, so closing is safe at any
+        point — call it (or :meth:`QuercService.close`) when tearing a
+        router down instead of waiting for garbage collection.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def drain(self, backend_name: str) -> DispatchReport:
         """Retry a backend's parked queue without new arrivals."""
@@ -359,6 +620,40 @@ class BatchRouter:
     def snapshot(self) -> dict:
         """Per-backend counters + admission state, for ``stats()``."""
         return self.registry.snapshot()
+
+    def routing_snapshot(self) -> dict:
+        """The policy layer's view, for ``stats()["routing"]``.
+
+        ``decisions`` counts, per label, how many batches each backend
+        won; ``reranks`` is the number of policy consultations and
+        ``static_fallbacks`` how often the static chain decided
+        instead (policy abstained or empty candidate set);
+        ``signals`` is every backend's live
+        :class:`~repro.backends.policy.CandidateView`.
+        """
+        with self._lock:
+            policy = self._policy
+            candidates = {
+                label: list(names) for label, names in self._candidates.items()
+            }
+            decisions = {
+                label: dict(counts) for label, counts in self._decisions.items()
+            }
+            reranks = self._reranks
+            fallbacks = self._static_fallbacks
+        return {
+            "policy": policy.snapshot() if policy else {"name": "static"},
+            "route_table": self.routes(),
+            "candidates": candidates,
+            "decisions": decisions,
+            "reranks": reranks,
+            "static_fallbacks": fallbacks,
+            "fanout_workers": self.fanout_workers,
+            "signals": {
+                name: self.registry.get(name).load_view().as_dict()
+                for name in self.registry.names()
+            },
+        }
 
     # -- internals -----------------------------------------------------------------
 
@@ -383,33 +678,48 @@ class BatchRouter:
         Returns one decision for this binding, plus the fallback
         sibling's decision when overflow was spilled across. The
         overflow is dispositioned *before* execution, so a backend
-        that raises (strict mode) can never silently drop it.
+        that raises (strict mode) can never silently drop it. The
+        dispatch-side counters land in **one** atomic ``add``, so a
+        concurrent ``snapshot`` always sees ``dispatched == admitted +
+        rejected + queued + spilled``. Both the admission decision and
+        the measured execute latency feed the binding's
+        :class:`~repro.backends.policy.LoadSignal` — the feedback the
+        load-aware policies rank on.
         """
         n = len(messages)
         admitted_n = binding.admission.admit(n)
+        binding.load_signal.observe_admission(n, admitted_n)
         admitted, overflow = messages[:admitted_n], messages[admitted_n:]
-        binding.counters.add(batches=1, dispatched=n, admitted=admitted_n)
 
-        rejected = queued = 0
+        rejected = queued = spilled = 0
         spilled_to = ""
         sibling_decisions: list[RouteDecision] = []
         if overflow:
             policy = binding.spill if allow_spill else SpillPolicy.REJECT
             if policy is SpillPolicy.QUEUE:
                 queued, rejected = binding.enqueue(overflow)
-                binding.counters.add(queued=queued, rejected=rejected)
             elif policy is SpillPolicy.FALLBACK:
                 spilled_to = binding.fallback or ""
-                binding.counters.add(spilled=len(overflow))
-                sibling = self.registry.get(spilled_to)
-                # one hop only: the sibling's own overflow is rejected
-                sibling_decisions = self._offer(
-                    sibling, overflow, allow_spill=False,
-                    spilled_from=binding.name,
-                )
+                spilled = len(overflow)
             else:
                 rejected = len(overflow)
-                binding.counters.add(rejected=rejected)
+        # one add per offer: a snapshot taken mid-dispatch can never
+        # see a dispatched count without its disposition
+        binding.counters.add(
+            batches=1,
+            dispatched=n,
+            admitted=admitted_n,
+            rejected=rejected,
+            queued=queued,
+            spilled=spilled,
+        )
+        if spilled_to:
+            sibling = self.registry.get(spilled_to)
+            # one hop only: the sibling's own overflow is rejected
+            sibling_decisions = self._offer(
+                sibling, overflow, allow_spill=False,
+                spilled_from=binding.name,
+            )
 
         result: BatchResult | None = None
         if admitted:
@@ -418,13 +728,17 @@ class BatchRouter:
                 with self.metrics.stage("execute"):
                     result = binding.backend.execute([m.query for m in admitted])
             finally:
+                elapsed = time.perf_counter() - start
                 binding.admission.release(admitted_n)
+                # strict-mode raises still price the backend: the time
+                # was spent whether or not outcomes came back
+                binding.load_signal.observe_execution(admitted_n, elapsed)
             binding.counters.add(
                 executed_ok=result.ok_count,
                 failed=result.failed_count,
                 rows_returned=result.rows_returned,
                 cost_units=result.cost_units,
-                execute_seconds=time.perf_counter() - start,
+                execute_seconds=elapsed,
             )
         return [
             RouteDecision(

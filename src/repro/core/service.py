@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.backends.base import Backend
+from repro.backends.policy import RoutingPolicy
 from repro.backends.router import (
     BackendBinding,
     BackendRegistry,
@@ -67,6 +68,7 @@ class QuercService:
         seed: int = 0,
         cache_capacity: int = 4096,
         route_label: str = "cluster",
+        fanout_workers: int = 4,
     ) -> None:
         self.embedders = EmbedderRegistry()
         self.training = TrainingModule(n_folds=n_folds, seed=seed)
@@ -85,6 +87,7 @@ class QuercService:
             self.backends,
             route_label=route_label,
             metrics=self.runtime.metrics,
+            fanout_workers=fanout_workers,
         )
         self._applications: dict[str, Application] = {}
         # concurrent serving state: the tuner adapts stream batch
@@ -165,6 +168,32 @@ class QuercService:
     def map_route(self, label_value, backend_name: str) -> None:
         """Route a predicted label value (e.g. a cluster) to a backend."""
         self.router.set_route(label_value, backend_name)
+
+    def set_routing_policy(
+        self,
+        policy: "RoutingPolicy | None",
+        candidates: dict | None = None,
+    ) -> "RoutingPolicy | None":
+        """Install a load-aware :class:`~repro.backends.policy.RoutingPolicy`.
+
+        With a policy installed, the router re-ranks each predicted
+        label's candidate backends per batch against their live load
+        signals (EWMA execute latency, admission rejection rate,
+        in-flight and queue depth) instead of following the static
+        ``map_route`` table; the table and the application's default
+        backend remain the fallback whenever the policy abstains.
+
+        ``candidates`` optionally maps label values to the backend
+        names the policy may choose between for that label (every
+        registered backend otherwise). Pass ``policy=None`` to go back
+        to static routing. The policy's decisions are visible in
+        ``stats()["routing"]``.
+        """
+        self.router.set_policy(policy)
+        if candidates:
+            for label_value, names in candidates.items():
+                self.router.set_candidates(label_value, names)
+        return policy
 
     def application(self, name: str) -> Application:
         try:
@@ -295,11 +324,23 @@ class QuercService:
         either way.
         """
         active_tuner = tuner if tuner is not None else self._tuner
+        feedback = None
+        if active_tuner is not None:
+            # close the admission loop: every dispatch report's
+            # offered/admitted shortfall shrinks that tenant's batches
+            def feedback(application: str, result, _tuner=active_tuner):
+                _, report = result
+                if isinstance(report, DispatchReport) and report.offered:
+                    _tuner.observe_admission(
+                        report.offered, report.admitted, application=application
+                    )
+
         executor = StagedExecutor(
             self._stage_label,
             self._stage_dispatch,
             queue_depth=queue_depth,
             tuner=active_tuner,
+            dispatch_feedback=feedback,
         )
         try:
             return executor.map(batches)
@@ -342,8 +383,11 @@ class QuercService:
         count, cache hit rate / occupancy, and batch dedup ratio;
         ``backends`` carries per-backend dispatch counters (dispatched,
         admitted, rejected, spilled, queued, executed, latency) plus
-        admission-gate state; ``applications`` the per-app processed
-        counts and bindings; ``executor`` the last staged
+        admission-gate state and the load signal the policies rank on;
+        ``routing`` the policy layer — installed policy, route table,
+        candidate sets, per-label placement decisions, and every
+        backend's live load view; ``applications`` the per-app
+        processed counts and bindings; ``executor`` the last staged
         (:meth:`process_routed_concurrent`) run's per-lane counters and
         overlap; ``tuner`` the batch-size tuner's per-application
         state (both None until used).
@@ -351,6 +395,7 @@ class QuercService:
         return {
             "runtime": self.runtime.snapshot(),
             "backends": self.router.snapshot(),
+            "routing": self.router.routing_snapshot(),
             "executor": self._last_executor_stats,
             "tuner": self._tuner.snapshot() if self._tuner is not None else None,
             "applications": {
@@ -362,6 +407,15 @@ class QuercService:
                 for name, app in sorted(self._applications.items())
             },
         }
+
+    def close(self) -> None:
+        """Release pooled resources (the router's fan-out threads).
+
+        Idempotent, and the service keeps working afterwards — pools
+        are recreated lazily — so call it whenever a service instance
+        is being discarded (tests, per-tenant churn).
+        """
+        self.router.close()
 
     def import_logs(self, application: str, records: list[QueryLogRecord]) -> int:
         """Periodic log import: ground-truth labels for training (§2).

@@ -109,6 +109,7 @@ class _Lane:
         self.dispatch_seconds = 0.0
         self.label_errors = 0
         self.dispatch_errors = 0
+        self.feedback_errors = 0
         self.max_handoff_depth = 0
 
     def snapshot(self) -> dict:
@@ -122,6 +123,7 @@ class _Lane:
                 "dispatch_seconds": self.dispatch_seconds,
                 "label_errors": self.label_errors,
                 "dispatch_errors": self.dispatch_errors,
+                "feedback_errors": self.feedback_errors,
                 "ingress_depth": self.ingress.qsize(),
                 "handoff_depth": self.handoff.qsize(),
                 "max_handoff_depth": self.max_handoff_depth,
@@ -137,6 +139,14 @@ class StagedExecutor:
     stage resolve that batch's future with the error and leave every
     other batch untouched.
 
+    ``dispatch_feedback(application, result)``, when given, runs on
+    the lane's dispatch thread after every successful stage-B
+    completion — the hook the service uses to feed admission outcomes
+    from each :class:`~repro.backends.router.DispatchReport` back into
+    the :class:`~repro.runtime.tuner.BatchSizeTuner`. Feedback
+    failures are counted per lane (``feedback_errors``) and never fail
+    the batch.
+
     Use as a context manager, or call :meth:`close` — pending work is
     drained before the lanes shut down.
     """
@@ -147,6 +157,7 @@ class StagedExecutor:
         dispatch_fn: Callable[[str, Any], Any],
         queue_depth: int = 4,
         tuner: BatchSizeTuner | None = None,
+        dispatch_feedback: Callable[[str, Any], None] | None = None,
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         if queue_depth < 1:
@@ -155,6 +166,7 @@ class StagedExecutor:
         self._dispatch_fn = dispatch_fn
         self.queue_depth = int(queue_depth)
         self.tuner = tuner
+        self._dispatch_feedback = dispatch_feedback
         self._clock = clock
         self._lanes: dict[str, _Lane] = {}
         self._lanes_lock = threading.Lock()
@@ -277,6 +289,12 @@ class StagedExecutor:
             with lane.lock:
                 lane.dispatched_batches += 1
                 lane.dispatch_seconds += self._clock() - start
+            if self._dispatch_feedback is not None:
+                try:
+                    self._dispatch_feedback(lane.application, result)
+                except Exception:  # noqa: BLE001 - feedback never fails the batch
+                    with lane.lock:
+                        lane.feedback_errors += 1
             future._resolve(value=result)
 
     # -- lifecycle -----------------------------------------------------------------

@@ -18,6 +18,13 @@ going cold). Growth per step is bounded so one outlier batch cannot
 slam the size across its whole range. State is kept per application —
 one tenant's slow embedder must not shrink another tenant's batches.
 
+The backend side of the loop closes through
+:meth:`BatchSizeTuner.observe_admission`: dispatch reports feed the
+tuner the fraction of each batch the admission gates turned away, and
+a sustained rejection EWMA shrinks the recommendation below what the
+labeling-latency fit would allow — when a gate has no headroom,
+smaller offers are the only ones that clear it.
+
 Everything is deterministic: the tuner never sleeps and never reads a
 wall clock for its decisions; the injectable ``clock`` only timestamps
 observations for the ``snapshot()`` view.
@@ -41,7 +48,15 @@ from repro.runtime.metrics import STAGES as LABEL_STAGES
 class _LaneState:
     """Per-application tuning state (EWMA + current recommendation)."""
 
-    __slots__ = ("size", "per_query_ewma", "samples", "last_seconds", "last_at")
+    __slots__ = (
+        "size",
+        "per_query_ewma",
+        "samples",
+        "last_seconds",
+        "last_at",
+        "rejection_ewma",
+        "admission_samples",
+    )
 
     def __init__(self, size: int) -> None:
         self.size = size
@@ -49,6 +64,10 @@ class _LaneState:
         self.samples = 0
         self.last_seconds = 0.0
         self.last_at: float | None = None
+        # admission-headroom feedback: smoothed fraction of dispatched
+        # work the backends' gates turned away (rejected/queued/spilled)
+        self.rejection_ewma = 0.0
+        self.admission_samples = 0
 
 
 class BatchSizeTuner:
@@ -56,8 +75,13 @@ class BatchSizeTuner:
 
     ``observe(queries, seconds)`` records what one labeled batch cost;
     ``recommend()`` returns the batch size the stream layer should use
-    next. Thread-safe: executor lanes observe concurrently while the
-    stream layer asks for recommendations.
+    next. ``observe_admission(offered, admitted)`` closes the *backend*
+    side of the loop: when a backend's admission gate is turning work
+    away, the recommendation shrinks multiplicatively until the
+    rejection EWMA decays below ``rejection_threshold`` — smaller
+    batches arrive as smaller admission offers, which is exactly the
+    headroom the gate still has. Thread-safe: executor lanes observe
+    concurrently while the stream layer asks for recommendations.
     """
 
     def __init__(
@@ -68,6 +92,7 @@ class BatchSizeTuner:
         target_seconds: float = 0.05,
         smoothing: float = 0.4,
         max_growth: float = 2.0,
+        rejection_threshold: float = 0.05,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if not (1 <= min_size <= initial <= max_size):
@@ -81,12 +106,15 @@ class BatchSizeTuner:
             raise ServiceError("smoothing must be in (0, 1]")
         if max_growth <= 1:
             raise ServiceError("max_growth must be > 1")
+        if not 0 < rejection_threshold < 1:
+            raise ServiceError("rejection_threshold must be in (0, 1)")
         self.initial = int(initial)
         self.min_size = int(min_size)
         self.max_size = int(max_size)
         self.target_seconds = float(target_seconds)
         self.smoothing = float(smoothing)
         self.max_growth = float(max_growth)
+        self.rejection_threshold = float(rejection_threshold)
         self._clock = clock
         self._lanes: dict[str, _LaneState] = {}
         # per-application baselines for observe_stats(); one shared
@@ -120,17 +148,72 @@ class BatchSizeTuner:
             lane.samples += 1
             lane.last_seconds = seconds
             lane.last_at = self._clock()
-            lane.size = self._fit(lane.size, lane.per_query_ewma)
+            lane.size = self._fit(
+                lane.size, lane.per_query_ewma, lane.rejection_ewma
+            )
             return lane.size
 
-    def observe_stats(self, runtime_snapshot: dict, application: str = "") -> int:
-        """Feed the tuner from a ``QuercService.stats()['runtime']`` view.
+    def observe_admission(
+        self, offered: int, admitted: int, application: str = ""
+    ) -> int:
+        """Record one dispatch's admission outcome; returns the new size.
+
+        ``offered`` is how much work the batch put in front of the
+        gates, ``admitted`` how much got in; the shortfall (rejected,
+        queued, or spilled) feeds a per-application rejection EWMA.
+        While that EWMA sits above ``rejection_threshold`` the
+        recommended size shrinks multiplicatively (AIMD-style); once
+        full admissions decay it back under the threshold, the normal
+        latency fit regrows the size, bounded by ``max_growth`` per
+        step.
+        """
+        if offered <= 0:
+            return self.recommend(application)
+        turned_away = min(1.0, max(0.0, 1.0 - admitted / offered))
+        with self._lock:
+            lane = self._lanes.get(application)
+            if lane is None:
+                lane = self._lanes[application] = _LaneState(self.initial)
+            lane.rejection_ewma += self.smoothing * (
+                turned_away - lane.rejection_ewma
+            )
+            lane.admission_samples += 1
+            if lane.per_query_ewma is not None:
+                # an admission observation carries no new latency data:
+                # it may shrink the size, never grow it — growth stays
+                # one bounded step per *labeling* observation
+                lane.size = min(
+                    lane.size,
+                    self._fit(lane.size, lane.per_query_ewma, lane.rejection_ewma),
+                )
+            elif lane.rejection_ewma > self.rejection_threshold:
+                # no labeling fit yet: back off directly from the
+                # current size so the gate pressure still bites —
+                # bounded by max_growth per step, like _fit
+                shrunk = max(
+                    lane.size * (1.0 - lane.rejection_ewma),
+                    lane.size / self.max_growth,
+                )
+                lane.size = max(self.min_size, int(shrunk))
+            return lane.size
+
+    def observe_stats(
+        self,
+        runtime_snapshot: dict,
+        application: str = "",
+        backends_snapshot: dict | None = None,
+    ) -> int:
+        """Feed the tuner from ``QuercService.stats()`` views.
 
         Computes the delta in labeling-stage seconds and query count
         since the previous call (baselines are kept per
         ``application``) and treats it as one aggregate observation —
         the hook for tuning off service-level metrics when per-batch
-        timings aren't available.
+        timings aren't available. When ``backends_snapshot``
+        (``stats()["backends"]``) is given, the dispatched/admitted
+        deltas across every backend feed :meth:`observe_admission` as
+        well, so a rejecting gate shrinks the recommendation even on
+        this aggregate path.
 
         Attribution is only as scoped as the snapshot: the service's
         default ``RuntimeMetrics`` aggregates every tenant, so with a
@@ -145,15 +228,40 @@ class BatchSizeTuner:
             for s in LABEL_STAGES
         )
         queries = int(runtime_snapshot.get("queries", 0))
+        offered = admitted = 0
+        if backends_snapshot:
+            # terminal outcomes only: "dispatched" re-counts fallback
+            # hand-offs and queue retries, which would overstate the
+            # rejection fraction when nothing was actually lost
+            admitted = int(
+                sum(b.get("admitted", 0) for b in backends_snapshot.values())
+            )
+            rejected = int(
+                sum(b.get("rejected", 0) for b in backends_snapshot.values())
+            )
+            offered = admitted + rejected
         with self._lock:
             previous = self._last_stats.get(application)
-            self._last_stats[application] = {
+            baseline = {
                 "seconds": seconds,
                 "queries": queries,
+                "offered": offered,
+                "admitted": admitted,
             }
+            if not backends_snapshot and previous is not None:
+                # a snapshot-less call must not zero the admission
+                # baseline, or the next snapshot call would re-feed
+                # the whole cumulative history as one delta
+                baseline["offered"] = previous.get("offered", 0)
+                baseline["admitted"] = previous.get("admitted", 0)
+            self._last_stats[application] = baseline
         if previous is not None:
             seconds -= previous["seconds"]
             queries -= previous["queries"]
+            offered -= previous.get("offered", 0)
+            admitted -= previous.get("admitted", 0)
+        if backends_snapshot and offered > 0:
+            self.observe_admission(offered, admitted, application=application)
         if queries <= 0 or seconds < 0:
             return self.recommend(application)
         return self.observe(queries, seconds, application=application)
@@ -167,13 +275,19 @@ class BatchSizeTuner:
             lane = self._lanes.get(application)
             return lane.size if lane is not None else self.initial
 
-    def _fit(self, current: int, per_query_ewma: float) -> int:
+    def _fit(
+        self, current: int, per_query_ewma: float, rejection_ewma: float = 0.0
+    ) -> int:
         """Largest size whose expected latency fits the budget, with
-        per-step growth/shrink bounded by ``max_growth``."""
+        per-step growth/shrink bounded by ``max_growth``. A rejection
+        EWMA above the threshold caps the fit below the current size —
+        admission pressure always wins over the latency headroom."""
         if per_query_ewma <= 0:
             ideal = float(self.max_size)
         else:
             ideal = self.target_seconds / per_query_ewma
+        if rejection_ewma > self.rejection_threshold:
+            ideal = min(ideal, current * (1.0 - rejection_ewma))
         lo = current / self.max_growth
         hi = current * self.max_growth
         bounded = min(max(ideal, lo), hi)
@@ -189,6 +303,7 @@ class BatchSizeTuner:
                 "min_size": self.min_size,
                 "max_size": self.max_size,
                 "initial": self.initial,
+                "rejection_threshold": self.rejection_threshold,
                 "applications": {
                     app: {
                         "size": lane.size,
@@ -201,6 +316,8 @@ class BatchSizeTuner:
                         "samples": lane.samples,
                         "last_batch_seconds": lane.last_seconds,
                         "last_observed_at": lane.last_at,
+                        "rejection_ewma": lane.rejection_ewma,
+                        "admission_samples": lane.admission_samples,
                     }
                     for app, lane in sorted(self._lanes.items())
                 },

@@ -390,6 +390,103 @@ class TestBatchRouterDispatch:
         assert snap["route"] > 0.0
         assert snap["execute"] > 0.0
 
+    def test_queue_policy_with_full_queue_rejects_everything(self):
+        """A queue already at capacity parks nothing: pure overflow."""
+        registry, router = make_router()
+        backend = NullBackend("DB(A)")
+        registry.register(
+            backend, max_in_flight=1, spill=SpillPolicy.QUEUE, queue_capacity=3
+        )
+        # fill the queue exactly to capacity (1 admitted, 3 parked)
+        first = router.dispatch("X", make_batch(4, "DB(A)", query="fill"))
+        assert first.queued == 3
+        assert registry.get("DB(A)").pending_depth == 3
+        # hold the only slot so the retry can't drain the queue
+        assert registry.get("DB(A)").admission.admit(1) == 1
+        second = router.dispatch("X", make_batch(5, "DB(A)", query="late"))
+        # the retry re-parked the 3 old messages; the queue is full
+        # again, so all 5 new arrivals are rejected outright
+        assert second.queued == 0
+        assert second.rejected == 5
+        assert registry.get("DB(A)").pending_depth == 3
+        counters = registry.get("DB(A)").counters.snapshot()
+        assert counters["rejected"] == 5
+        registry.get("DB(A)").admission.release(1)
+        # parked work survives the storm and is FIFO-retried later
+        drained = router.drain("DB(A)")
+        assert sum(d.admitted for d in drained.decisions) == 1
+        assert all("fill" in q for q in backend.recent()[-1:])
+
+    def test_fallback_to_rejecting_sibling_drops_overflow(self):
+        """FALLBACK overflow offered to a saturated sibling is rejected
+        by the sibling's own gate — never queued, never cascaded."""
+        registry, router = make_router()
+        primary, sibling = NullBackend("DB(A)"), NullBackend("DB(B)")
+        registry.register(
+            primary, max_in_flight=2, spill=SpillPolicy.FALLBACK, fallback="DB(B)"
+        )
+        # the sibling itself spills to a queue, but overflow handed
+        # over by a FALLBACK hop must not be parked (allow_spill=False)
+        registry.register(
+            sibling, max_in_flight=4, spill=SpillPolicy.QUEUE, queue_capacity=8
+        )
+        # saturate the sibling's gate completely
+        assert registry.get("DB(B)").admission.admit(4) == 4
+        report = router.dispatch("X", make_batch(6, "DB(A)"))
+        assert primary.accepted == 2
+        assert sibling.accepted == 0  # gate admitted nothing
+        assert registry.get("DB(B)").pending_depth == 0  # and parked nothing
+        assert report.admitted == 2
+        assert report.rejected == 4
+        assert report.admitted + report.rejected == report.offered == 6
+        b_counters = registry.get("DB(B)").counters.snapshot()
+        assert b_counters["rejected"] == 4
+        assert b_counters["queued"] == 0
+        registry.get("DB(B)").admission.release(4)
+
+    def test_snapshot_mid_dispatch_is_internally_consistent(self):
+        """Concurrent snapshots always reconcile: dispatched ==
+        admitted + rejected + queued + spilled, per backend — the
+        disposition lands in one atomic counter update."""
+        registry, router = make_router()
+        registry.register(NullBackend("DB(A)"), max_in_flight=3)
+        stop = threading.Event()
+        violations: list[dict] = []
+        errors: list[Exception] = []
+
+        def reader():
+            while not stop.is_set():
+                snap = registry.get("DB(A)").counters.snapshot()
+                accounted = (
+                    snap["admitted"]
+                    + snap["rejected"]
+                    + snap["queued"]
+                    + snap["spilled"]
+                )
+                if snap["dispatched"] != accounted:
+                    violations.append(snap)
+
+        def writer():
+            try:
+                for _ in range(200):
+                    router.dispatch("X", make_batch(5, "DB(A)"))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert not errors
+        assert not violations, f"inconsistent snapshots: {violations[:3]}"
+        counters = registry.get("DB(A)").counters.snapshot()
+        assert counters["dispatched"] == 4 * 200 * 5
+
     def test_concurrent_dispatch_counters_consistent(self):
         registry, router = make_router()
         registry.register(NullBackend("DB(A)"))

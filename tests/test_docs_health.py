@@ -1,0 +1,47 @@
+"""Docs stay healthy in tier-1: links resolve, indexes are complete.
+
+Runs the same checks as ``tools/check_doc_links.py`` (which CI invokes
+as the docs-health step) so a broken internal link or an unindexed
+example fails the ordinary test run too, not just CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_doc_links", REPO_ROOT / "tools" / "check_doc_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_exist_and_are_linked_from_readme():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for doc in ("docs/architecture.md", "docs/api.md", "docs/examples.md"):
+        assert (REPO_ROOT / doc).is_file(), f"{doc} missing"
+        assert doc in readme, f"README does not link {doc}"
+
+
+def test_internal_markdown_links_resolve():
+    checker = _load_checker()
+    assert checker.check_links() == []
+
+
+def test_examples_index_is_complete():
+    checker = _load_checker()
+    assert checker.check_examples_index() == []
+
+
+def test_examples_compile():
+    import compileall
+
+    assert compileall.compile_dir(
+        str(REPO_ROOT / "examples"), quiet=2, force=True
+    )

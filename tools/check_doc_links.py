@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Docs health: internal links resolve, the examples index is complete.
+
+Scans the repo's markdown surfaces (README.md, ROADMAP.md, PAPER*.md,
+CHANGES.md, and everything under docs/) for relative markdown links
+and verifies each target exists on disk. External links (http/https/
+mailto) and pure in-page anchors are skipped; a relative link's
+``#anchor`` suffix is stripped before the existence check. Also
+verifies that ``docs/examples.md`` indexes every ``examples/*.py``.
+
+Run from anywhere::
+
+    python tools/check_doc_links.py
+
+Exit status 0 when healthy, 1 with one line per problem otherwise.
+CI runs this as the docs-health step; ``tests/test_docs_health.py``
+runs the same checks in tier-1.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — target captured up to the closing paren (markdown
+# in this repo doesn't use nested parens or <...> link targets)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root: Path = REPO_ROOT) -> list[Path]:
+    files = sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def check_links(root: Path = REPO_ROOT) -> list[str]:
+    """Every relative markdown link must resolve to an existing path."""
+    problems = []
+    for path in markdown_files(root):
+        text = path.read_text(encoding="utf-8")
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}: broken link -> {target}"
+                )
+    return problems
+
+
+def check_examples_index(root: Path = REPO_ROOT) -> list[str]:
+    """docs/examples.md must mention every examples/*.py exactly."""
+    index = root / "docs" / "examples.md"
+    examples_dir = root / "examples"
+    if not index.is_file():
+        return [f"missing {index.relative_to(root)}"]
+    text = index.read_text(encoding="utf-8")
+    problems = []
+    for example in sorted(examples_dir.glob("*.py")):
+        if example.name not in text:
+            problems.append(
+                f"docs/examples.md: missing index entry for "
+                f"examples/{example.name}"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_examples_index()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} docs problem(s)", file=sys.stderr)
+        return 1
+    n_files = len(markdown_files())
+    print(f"docs healthy: {n_files} markdown files, all internal links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
