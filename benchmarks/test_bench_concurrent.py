@@ -251,14 +251,23 @@ def test_staged_executor_vs_serial_loop(report):
     report("concurrent", "\n".join(lines))
 
     record = {
-        "benchmark": "concurrent_staged_execution",
-        "queries": total_queries,
-        "applications": 2,
-        "serial_seconds": round(serial_seconds, 4),
-        "staged_seconds": round(staged_seconds, 4),
-        "serial_qps": round(serial_qps, 1),
-        "staged_qps": round(staged_qps, 1),
+        "name": "concurrent_staged_execution",
+        "config": {
+            "queries": total_queries,
+            "applications": 2,
+            "batch_size": BATCH_SIZE,
+            "per_batch_latency_seconds": PER_BATCH_LATENCY,
+            "per_query_latency_seconds": PER_QUERY_LATENCY,
+        },
         "speedup": round(speedup, 3),
+        "qps": {
+            "serial": round(serial_qps, 1),
+            "staged": round(staged_qps, 1),
+        },
+        "seconds": {
+            "serial": round(serial_seconds, 4),
+            "staged": round(staged_seconds, 4),
+        },
         "overlap": round(executor_stats["overlap"], 3),
         "min_speedup_gate": MIN_SPEEDUP,
     }

@@ -297,17 +297,23 @@ class QuercService:
         batches: "Iterable[StreamBatch]",
         queue_depth: int = 4,
         tuner: BatchSizeTuner | None = None,
+        label_workers: int = 2,
+        dispatch_workers: int = 4,
     ) -> "list[tuple[list[LabeledQuery], DispatchReport | None]]":
         """Label and dispatch a run of stream batches concurrently.
 
         The staged equivalent of calling :meth:`process_routed` in a
         loop: batches flow through a
-        :class:`~repro.runtime.executor.StagedExecutor` with one lane
-        per application, so the embed/predict stage of batch *n+1*
-        overlaps the route/execute stage of batch *n*, and one
-        tenant's slow embedder cannot stall another tenant's stream.
-        Per-application ordering (and therefore labels and backend
-        outcomes) is identical to the serial loop.
+        :class:`~repro.runtime.executor.StagedExecutor` whose shared
+        stage pool (``label_workers`` embed/predict threads,
+        ``dispatch_workers`` route/execute threads) serves one
+        lightweight lane per application, so the embed/predict stage
+        of batch *n+1* overlaps the route/execute stage of batch *n*,
+        and one tenant's slow embedder cannot stall another tenant's
+        stream. The thread budget is the pool size — independent of
+        how many applications the batches span — and per-application
+        ordering (and therefore labels and backend outcomes) is
+        identical to the serial loop.
 
         ``batches`` is consumed lazily under the lanes' backpressure —
         hand it the generator from
@@ -341,6 +347,8 @@ class QuercService:
             queue_depth=queue_depth,
             tuner=active_tuner,
             dispatch_feedback=feedback,
+            label_workers=label_workers,
+            dispatch_workers=dispatch_workers,
         )
         try:
             return executor.map(batches)
@@ -388,9 +396,9 @@ class QuercService:
         candidate sets, per-label placement decisions, and every
         backend's live load view; ``applications`` the per-app
         processed counts and bindings; ``executor`` the last staged
-        (:meth:`process_routed_concurrent`) run's per-lane counters and
-        overlap; ``tuner`` the batch-size tuner's per-application
-        state (both None until used).
+        (:meth:`process_routed_concurrent`) run's per-lane counters,
+        stage-pool occupancy, and overlap; ``tuner`` the batch-size
+        tuner's per-application state (both None until used).
         """
         return {
             "runtime": self.runtime.snapshot(),

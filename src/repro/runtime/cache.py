@@ -119,15 +119,20 @@ class EmbeddingCache:
         and the size are mutually consistent even while other threads
         are hitting the cache (hits + misses always equals the number
         of lookups that had finished when the snapshot was taken, and
-        ``hit_rate`` is derived from exactly those two values).
+        ``hit_rate`` is derived from exactly those two values). The
+        dict itself is built outside the lock, so monitoring never
+        makes the lookup hot path queue behind formatting.
         """
         with self._lock:
-            hits, misses = self.hits, self.misses
-            return {
-                "size": len(self._data),
-                "capacity": self.capacity,
-                "hits": hits,
-                "misses": misses,
-                "evictions": self.evictions,
-                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
-            }
+            size = len(self._data)
+            hits = self.hits
+            misses = self.misses
+            evictions = self.evictions
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        }

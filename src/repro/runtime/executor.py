@@ -1,4 +1,4 @@
-"""Concurrent staged execution: the Qworker fan-out, made real.
+"""Concurrent staged execution: many Qworkers on a bounded thread pool.
 
 The paper's Figure 1 draws many Qworkers consuming per-application
 query streams side by side; until this layer the reproduction ran them
@@ -16,27 +16,49 @@ pipelines them across batches:
   :class:`~repro.backends.router.BatchRouter` and its backends
   (typically dominated by backend latency).
 
-Each application gets its own **lane**: one stage-A thread and one
-stage-B thread joined by a bounded hand-off queue. Within a lane,
-batch *n+1* is being embedded while batch *n* executes on its backend;
-across lanes, tenants proceed independently, so one application's slow
-embedder can no longer head-of-line-block another's stream. Both
-stages of one application stay single-threaded, which preserves the
-serial path's per-application ordering exactly — the labeled output
-and backend outcomes are the same, they just stop waiting on each
-other. The shared pieces (embedding cache, namespace assignment,
-``RuntimeMetrics``, admission controllers, backend counters) are all
-lock-safe already.
+Earlier revisions gave every application its own pair of OS threads
+(one per stage). That shape breaks down at many-tenant scale: 100
+applications meant 200 mostly-idle threads, almost all of them blocked
+on an empty queue. This revision runs a **shared stage pool** instead:
+``label_workers`` stage-A threads and ``dispatch_workers`` stage-B
+threads serve *every* application. Each application keeps a **lane** —
+now a lightweight state record (two bounded deques plus counters, no
+threads) — and a lane becomes *ready* for a stage exactly when it has
+work for that stage and no batch of its own already in flight there.
+Ready lanes queue on one of two ready-queues; idle workers pull the
+next ready lane, run one batch through their stage, and reschedule the
+lane as its state allows. The thread count is O(pool size), not
+O(tenants).
 
-Bounded queues give the executor backpressure end to end: when a
-backend falls behind, its lane's hand-off queue fills, stage A blocks,
-the lane's ingress queue fills, and finally ``submit`` blocks the
-producer — memory stays bounded no matter how fast batches arrive.
+Two invariants keep the scheduler byte-identical to the serial path:
+
+1. **per-application FIFO** — each lane's queues are strict FIFOs, so
+   batches of one application pass through each stage in submission
+   order;
+2. **at most one in flight per (lane, stage)** — a lane is never on a
+   ready-queue (or being worked) twice for the same stage, so no two
+   workers can reorder one application's batches.
+
+Across applications, batches proceed independently and the pool is
+work-conserving: a worker freed by one tenant immediately serves any
+other tenant with a ready batch, where a per-application thread would
+have idled.
+
+Backpressure is preserved end to end and stays per-tenant: a lane's
+hand-off deque is bounded (a lane is not label-ready while its
+hand-off is full, so a slow backend never lets stage A run ahead
+unboundedly *and* never blocks a shared worker), its ingress deque is
+bounded (``submit`` blocks the producer), and the ready-queues are
+bounded by construction — invariant 2 means each queue holds at most
+one entry per application.
 
 A :class:`~repro.runtime.tuner.BatchSizeTuner` can be attached; every
 stage-A completion feeds it a ``(queries, seconds)`` observation, so
-the stream layer's batch sizes track the labeling cost the executor is
-actually measuring.
+the stream layer's batch sizes track the labeling cost the pool is
+actually measuring. ``dispatch_feedback`` runs on the worker that
+completed stage B, before the batch's future resolves. Neither hook
+can kill a worker: their failures are counted per lane and the batch
+still resolves.
 """
 
 from __future__ import annotations
@@ -44,6 +66,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from collections.abc import Callable
 from typing import Any
 
@@ -84,23 +107,45 @@ class StagedFuture:
 
 
 class _Lane:
-    """One application's pipeline: stage-A thread → queue → stage-B thread."""
+    """One application's scheduling state: queues and counters, no threads.
 
-    def __init__(self, application: str, queue_depth: int) -> None:
+    ``cond``'s lock guards every mutable field. ``label_busy`` /
+    ``dispatch_busy`` are true while the lane is on the corresponding
+    ready-queue *or* a worker is running that stage for it — the
+    at-most-one-in-flight-per-stage invariant is exactly "this flag is
+    set". Producers blocked on a full ingress wait on ``cond``; a
+    worker popping the ingress (or ``close`` marking the lane closed)
+    notifies them.
+    """
+
+    __slots__ = (
+        "application",
+        "cond",
+        "ingress",
+        "handoff",
+        "closed",
+        "label_busy",
+        "dispatch_busy",
+        "submitted",
+        "labeled_batches",
+        "labeled_queries",
+        "dispatched_batches",
+        "label_seconds",
+        "dispatch_seconds",
+        "label_errors",
+        "dispatch_errors",
+        "feedback_errors",
+        "max_handoff_depth",
+    )
+
+    def __init__(self, application: str) -> None:
         self.application = application
-        self.ingress: queue.Queue = queue.Queue(maxsize=queue_depth)
-        self.handoff: queue.Queue = queue.Queue(maxsize=queue_depth)
-        self.label_thread: threading.Thread | None = None
-        self.dispatch_thread: threading.Thread | None = None
-        # serializes producers against shutdown: once `closed` is set
-        # (under this lock) the shutdown sentinel is the last entry the
-        # ingress queue will ever receive, so no future can be enqueued
-        # behind it and starve forever
-        self.submit_lock = threading.Lock()
+        self.cond = threading.Condition()
+        self.ingress: deque = deque()  # (item, future), bounded via cond
+        self.handoff: deque = deque()  # (staged, future), bounded by depth
         self.closed = False
-        # counters are only written by the lane's own two threads; the
-        # lock makes stats() reads consistent
-        self.lock = threading.Lock()
+        self.label_busy = False
+        self.dispatch_busy = False
         self.submitted = 0
         self.labeled_batches = 0
         self.labeled_queries = 0
@@ -113,7 +158,7 @@ class _Lane:
         self.max_handoff_depth = 0
 
     def snapshot(self) -> dict:
-        with self.lock:
+        with self.cond:
             return {
                 "submitted": self.submitted,
                 "labeled_batches": self.labeled_batches,
@@ -124,31 +169,44 @@ class _Lane:
                 "label_errors": self.label_errors,
                 "dispatch_errors": self.dispatch_errors,
                 "feedback_errors": self.feedback_errors,
-                "ingress_depth": self.ingress.qsize(),
-                "handoff_depth": self.handoff.qsize(),
+                "ingress_depth": len(self.ingress),
+                "handoff_depth": len(self.handoff),
                 "max_handoff_depth": self.max_handoff_depth,
+                "label_busy": self.label_busy,
+                "dispatch_busy": self.dispatch_busy,
             }
 
 
 class StagedExecutor:
-    """Pipeline label (stage A) and place (stage B) across batches.
+    """Pipeline label (stage A) and place (stage B) across batches on a
+    shared worker pool.
 
     ``label_fn(application, item)`` produces the intermediate value
     (the labeled batch); ``dispatch_fn(application, intermediate)``
     places it and produces the future's result. Exceptions in either
     stage resolve that batch's future with the error and leave every
-    other batch untouched.
+    other batch — and every pool worker — untouched.
+
+    ``label_workers`` / ``dispatch_workers`` size the two stage pools;
+    the executor owns exactly ``label_workers + dispatch_workers``
+    threads regardless of how many applications submit, so a
+    many-tenant deployment no longer pays two threads per application.
+    Within one application, batches still flow strictly in order
+    through both stages (see the module docstring's invariants), so
+    labels and backend outcomes are byte-identical to the serial loop.
 
     ``dispatch_feedback(application, result)``, when given, runs on
-    the lane's dispatch thread after every successful stage-B
-    completion — the hook the service uses to feed admission outcomes
-    from each :class:`~repro.backends.router.DispatchReport` back into
-    the :class:`~repro.runtime.tuner.BatchSizeTuner`. Feedback
+    the pool worker that completed stage B, after every successful
+    completion and before the future resolves — the hook the service
+    uses to feed admission outcomes from each
+    :class:`~repro.backends.router.DispatchReport` back into the
+    :class:`~repro.runtime.tuner.BatchSizeTuner`. Feedback (and tuner)
     failures are counted per lane (``feedback_errors``) and never fail
-    the batch.
+    the batch or the worker.
 
     Use as a context manager, or call :meth:`close` — pending work is
-    drained before the lanes shut down.
+    drained (every accepted future resolves) before the pool shuts
+    down.
     """
 
     def __init__(
@@ -159,43 +217,79 @@ class StagedExecutor:
         tuner: BatchSizeTuner | None = None,
         dispatch_feedback: Callable[[str, Any], None] | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        label_workers: int = 2,
+        dispatch_workers: int = 4,
     ) -> None:
         if queue_depth < 1:
             raise ServiceError("queue_depth must be >= 1")
+        if label_workers < 1 or dispatch_workers < 1:
+            raise ServiceError("label_workers and dispatch_workers must be >= 1")
         self._label_fn = label_fn
         self._dispatch_fn = dispatch_fn
         self.queue_depth = int(queue_depth)
+        self.label_workers = int(label_workers)
+        self.dispatch_workers = int(dispatch_workers)
         self.tuner = tuner
         self._dispatch_feedback = dispatch_feedback
         self._clock = clock
         self._lanes: dict[str, _Lane] = {}
         self._lanes_lock = threading.Lock()
         self._closed = False
+        self._close_done = threading.Event()
         self._started_at = clock()
+        # each ready-queue holds at most one entry per lane (plus the
+        # shutdown sentinels), so both are bounded by the tenant count
+        self._label_ready: queue.SimpleQueue = queue.SimpleQueue()
+        self._dispatch_ready: queue.SimpleQueue = queue.SimpleQueue()
+        # accepted-future ledger: submit increments, resolution
+        # decrements; close() drains by waiting for zero
+        self._drain = threading.Condition()
+        self._outstanding = 0
+        # pool occupancy (workers currently inside a stage fn)
+        self._pool_lock = threading.Lock()
+        self._label_active = 0
+        self._dispatch_active = 0
+        self._max_label_active = 0
+        self._max_dispatch_active = 0
+        self._label_threads = [
+            threading.Thread(
+                target=self._label_loop, name=f"querc-label-{i}", daemon=True
+            )
+            for i in range(self.label_workers)
+        ]
+        self._dispatch_threads = [
+            threading.Thread(
+                target=self._dispatch_loop, name=f"querc-dispatch-{i}", daemon=True
+            )
+            for i in range(self.dispatch_workers)
+        ]
+        for thread in self._label_threads + self._dispatch_threads:
+            thread.start()
 
     # -- submission ----------------------------------------------------------------
 
     def submit(self, application: str, item: Any) -> StagedFuture:
         """Queue one batch onto its application's lane.
 
-        Blocks when the lane's ingress queue is full — backpressure
-        from a slow stage propagates to the producer instead of
-        buffering without bound.
+        Blocks when the lane's ingress is full — backpressure from a
+        slow stage propagates to the producer instead of buffering
+        without bound, and it is per-tenant: one application's full
+        lane never blocks another's submit. Once this method returns a
+        future, that future is guaranteed to resolve (value or error),
+        even if :meth:`close` races the submission.
         """
-        if self._closed:
-            raise ServiceError("executor is closed")
         lane = self._lane(application)
         future = StagedFuture(application)
-        with lane.submit_lock:
+        with lane.cond:
+            while len(lane.ingress) >= self.queue_depth and not lane.closed:
+                lane.cond.wait()
             if lane.closed:
                 raise ServiceError("executor is closed")
-            with lane.lock:
-                lane.submitted += 1
-            # may block on backpressure while holding submit_lock; the
-            # lane's label thread keeps consuming until it sees the
-            # sentinel (which close() can only enqueue under this same
-            # lock), so the put always completes
-            lane.ingress.put((item, future))
+            lane.ingress.append((item, future))
+            lane.submitted += 1
+            with self._drain:
+                self._outstanding += 1
+            self._maybe_schedule_label(lane)
         return future
 
     def map(self, items, application_of=None) -> list:
@@ -217,104 +311,256 @@ class StagedExecutor:
         with self._lanes_lock:
             if self._closed:
                 # close() snapshots lanes under this lock; a lane born
-                # after that snapshot would never get its sentinel
+                # after that snapshot would never be drained
                 raise ServiceError("executor is closed")
             lane = self._lanes.get(application)
             if lane is None:
-                lane = _Lane(application, self.queue_depth)
-                lane.label_thread = threading.Thread(
-                    target=self._label_loop,
-                    args=(lane,),
-                    name=f"querc-label-{application}",
-                    daemon=True,
-                )
-                lane.dispatch_thread = threading.Thread(
-                    target=self._dispatch_loop,
-                    args=(lane,),
-                    name=f"querc-dispatch-{application}",
-                    daemon=True,
-                )
-                self._lanes[application] = lane
-                lane.label_thread.start()
-                lane.dispatch_thread.start()
+                lane = self._lanes[application] = _Lane(application)
         return lane
 
-    def _label_loop(self, lane: _Lane) -> None:
+    def _maybe_schedule_label(self, lane: _Lane) -> None:
+        """Put the lane on the stage-A ready-queue if eligible.
+
+        Caller holds ``lane.cond``. Eligible means: work waiting, no
+        batch of this lane already in stage A, and room in the
+        hand-off — a full hand-off keeps the lane un-ready instead of
+        letting a label worker block on it, so a slow backend
+        backpressures its own tenant without stalling the shared pool.
+        """
+        if (
+            lane.label_busy
+            or not lane.ingress
+            or len(lane.handoff) >= self.queue_depth
+        ):
+            return
+        lane.label_busy = True
+        self._label_ready.put(lane)
+
+    def _maybe_schedule_dispatch(self, lane: _Lane) -> None:
+        """Put the lane on the stage-B ready-queue if eligible (caller
+        holds ``lane.cond``)."""
+        if lane.dispatch_busy or not lane.handoff:
+            return
+        lane.dispatch_busy = True
+        self._dispatch_ready.put(lane)
+
+    # -- workers -------------------------------------------------------------------
+
+    def _resolve_future(
+        self, future: StagedFuture, value: Any = None,
+        error: BaseException | None = None,
+    ) -> None:
+        future._resolve(value=value, error=error)
+        with self._drain:
+            self._outstanding -= 1
+            if self._outstanding <= 0:
+                self._drain.notify_all()
+
+    def _pool_enter(self, stage: str) -> None:
+        with self._pool_lock:
+            if stage == "label":
+                self._label_active += 1
+                self._max_label_active = max(
+                    self._max_label_active, self._label_active
+                )
+            else:
+                self._dispatch_active += 1
+                self._max_dispatch_active = max(
+                    self._max_dispatch_active, self._dispatch_active
+                )
+
+    def _pool_exit(self, stage: str) -> None:
+        with self._pool_lock:
+            if stage == "label":
+                self._label_active -= 1
+            else:
+                self._dispatch_active -= 1
+
+    def _label_loop(self) -> None:
+        # the loop shape guarantees a worker survives *anything* a batch
+        # throws at it: once (item, future) is popped, the except/finally
+        # pair resolves the future and releases the lane no matter what
+        # fails inside — stage fn, hooks, even an injected clock
         while True:
-            entry = lane.ingress.get()
-            if entry is _SENTINEL:
-                lane.handoff.put(_SENTINEL)
+            lane = self._label_ready.get()
+            if lane is _SENTINEL:
                 return
-            item, future = entry
+            with lane.cond:
+                item, future = lane.ingress.popleft()
+                # ingress slot freed: wake one blocked producer
+                lane.cond.notify()
+            try:
+                self._label_one(lane, item, future)
+            except BaseException as exc:  # noqa: BLE001 - never kill the worker
+                if not future.done():
+                    with lane.cond:
+                        lane.label_errors += 1
+                    self._resolve_future(future, error=exc)
+            finally:
+                with lane.cond:
+                    lane.label_busy = False
+                    self._maybe_schedule_label(lane)
+
+    def _label_one(self, lane: _Lane, item: Any, future: StagedFuture) -> None:
+        """Run one batch through stage A and hand it to stage B."""
+        self._pool_enter("label")
+        try:
             start = self._clock()
             try:
                 staged = self._label_fn(lane.application, item)
-            except BaseException as exc:  # noqa: BLE001 - resolve, don't kill the lane
-                with lane.lock:
-                    lane.label_errors += 1
-                future._resolve(error=exc)
-                continue
+                error: BaseException | None = None
+            except BaseException as exc:  # noqa: BLE001 - resolve, don't kill the worker
+                staged, error = None, exc
             elapsed = self._clock() - start
-            try:
-                n = len(item)
-            except TypeError:
-                n = 1
-            with lane.lock:
-                lane.labeled_batches += 1
+        finally:
+            self._pool_exit("label")
+        if error is not None:
+            with lane.cond:
+                lane.label_errors += 1
                 lane.label_seconds += elapsed
-                lane.labeled_queries += n
-            if self.tuner is not None:
+            self._resolve_future(future, error=error)
+            return
+        try:
+            n = len(item)
+        except Exception:  # noqa: BLE001 - a hostile __len__ must not kill the worker
+            n = 1
+        with lane.cond:
+            lane.labeled_batches += 1
+            lane.label_seconds += elapsed
+            lane.labeled_queries += n
+        if self.tuner is not None:
+            try:
                 self.tuner.observe(n, elapsed, application=lane.application)
-            lane.handoff.put((staged, future))
-            with lane.lock:
-                lane.max_handoff_depth = max(
-                    lane.max_handoff_depth, lane.handoff.qsize()
-                )
+            except BaseException:  # noqa: BLE001 - observations never kill a worker
+                with lane.cond:
+                    lane.feedback_errors += 1
+        with lane.cond:
+            lane.handoff.append((staged, future))
+            lane.max_handoff_depth = max(
+                lane.max_handoff_depth, len(lane.handoff)
+            )
+            self._maybe_schedule_dispatch(lane)
 
-    def _dispatch_loop(self, lane: _Lane) -> None:
+    def _dispatch_loop(self) -> None:
         while True:
-            entry = lane.handoff.get()
-            if entry is _SENTINEL:
+            lane = self._dispatch_ready.get()
+            if lane is _SENTINEL:
                 return
-            staged, future = entry
+            with lane.cond:
+                staged, future = lane.handoff.popleft()
+                # a hand-off slot freed: stage A may resume this lane
+                self._maybe_schedule_label(lane)
+            try:
+                self._dispatch_one(lane, staged, future)
+            except BaseException as exc:  # noqa: BLE001 - never kill the worker
+                if not future.done():
+                    with lane.cond:
+                        lane.dispatch_errors += 1
+                    self._resolve_future(future, error=exc)
+            finally:
+                with lane.cond:
+                    lane.dispatch_busy = False
+                    self._maybe_schedule_dispatch(lane)
+
+    def _dispatch_one(
+        self, lane: _Lane, staged: Any, future: StagedFuture
+    ) -> None:
+        """Run one staged batch through stage B and resolve its future."""
+        self._pool_enter("dispatch")
+        try:
             start = self._clock()
             try:
                 result = self._dispatch_fn(lane.application, staged)
-            except BaseException as exc:  # noqa: BLE001 - resolve, don't kill the lane
-                with lane.lock:
-                    lane.dispatch_errors += 1
-                    lane.dispatch_seconds += self._clock() - start
-                future._resolve(error=exc)
-                continue
-            with lane.lock:
+                error: BaseException | None = None
+            except BaseException as exc:  # noqa: BLE001 - resolve, don't kill the worker
+                result, error = None, exc
+            elapsed = self._clock() - start
+        finally:
+            self._pool_exit("dispatch")
+        feedback_failed = False
+        if error is None and self._dispatch_feedback is not None:
+            try:
+                self._dispatch_feedback(lane.application, result)
+            except BaseException:  # noqa: BLE001 - feedback never fails the batch
+                feedback_failed = True
+        with lane.cond:
+            lane.dispatch_seconds += elapsed
+            if error is None:
                 lane.dispatched_batches += 1
-                lane.dispatch_seconds += self._clock() - start
-            if self._dispatch_feedback is not None:
-                try:
-                    self._dispatch_feedback(lane.application, result)
-                except Exception:  # noqa: BLE001 - feedback never fails the batch
-                    with lane.lock:
-                        lane.feedback_errors += 1
-            future._resolve(value=result)
+            else:
+                lane.dispatch_errors += 1
+            if feedback_failed:
+                lane.feedback_errors += 1
+        self._resolve_future(future, value=result, error=error)
 
     # -- lifecycle -----------------------------------------------------------------
 
     def close(self) -> None:
-        """Drain every lane and stop its threads (idempotent)."""
+        """Drain every lane, then stop the pool (idempotent).
+
+        Ordering guarantees:
+
+        1. producers blocked in :meth:`submit` wake and raise (their
+           futures were never accepted);
+        2. every *accepted* future resolves — with its stage's value
+           or error — before the workers stop;
+        3. only then are the worker threads joined.
+
+        A future that somehow survives the drain (a stage function
+        swallowing its own worker, which the loops do not allow) is
+        resolved with a :class:`ServiceError` rather than left to
+        strand its waiter. Concurrent callers block until the first
+        caller's shutdown completes, so *every* returning ``close()``
+        may rely on the guarantees above.
+        """
         with self._lanes_lock:
-            if self._closed:
-                return
+            already_closing = self._closed
             self._closed = True
             lanes = list(self._lanes.values())
-        for lane in lanes:
-            with lane.submit_lock:
-                lane.closed = True
-                lane.ingress.put(_SENTINEL)
-        for lane in lanes:
-            if lane.label_thread is not None:
-                lane.label_thread.join()
-            if lane.dispatch_thread is not None:
-                lane.dispatch_thread.join()
+        if already_closing:
+            # another close() is (or was) doing the work; returning
+            # before it finishes would void the drain guarantee
+            self._close_done.wait()
+            return
+        try:
+            for lane in lanes:
+                with lane.cond:
+                    lane.closed = True
+                    lane.cond.notify_all()
+            workers = self._label_threads + self._dispatch_threads
+            with self._drain:
+                while self._outstanding > 0:
+                    # a worker can only die on an uncaught non-stage
+                    # error; if the whole pool is gone, fall through to
+                    # the sweep instead of waiting on a drain that
+                    # cannot happen
+                    if not any(t.is_alive() for t in workers):
+                        break
+                    self._drain.wait(timeout=0.1)
+            for _ in self._label_threads:
+                self._label_ready.put(_SENTINEL)
+            for _ in self._dispatch_threads:
+                self._dispatch_ready.put(_SENTINEL)
+            for thread in self._label_threads + self._dispatch_threads:
+                thread.join()
+            # belt and braces: no future may ever be stranded by close()
+            leftovers: list[StagedFuture] = []
+            for lane in lanes:
+                with lane.cond:
+                    leftovers.extend(
+                        f for _, f in list(lane.ingress) + list(lane.handoff)
+                        if not f.done()
+                    )
+                    lane.ingress.clear()
+                    lane.handoff.clear()
+            for future in leftovers:
+                future._resolve(
+                    error=ServiceError("executor closed before the batch ran")
+                )
+        finally:
+            # unblock concurrent close() callers even on a failed
+            # shutdown — stranding them is worse than an early wake
+            self._close_done.set()
 
     def __enter__(self) -> "StagedExecutor":
         return self
@@ -325,11 +571,17 @@ class StagedExecutor:
     # -- introspection -------------------------------------------------------------
 
     def stats(self) -> dict:
-        """Per-lane counters plus an overlap estimate.
+        """Per-lane counters, pool occupancy, and an overlap estimate.
 
+        ``pool`` reports the configured worker counts, how many
+        workers are inside each stage right now, and the high-water
+        marks — occupancy near the configured size means the pool is
+        the bottleneck and could grow; near zero means it is idle.
         ``busy_seconds`` sums stage time across lanes; with
         ``wall_seconds`` it bounds the concurrency the staged layout
         actually achieved (busy/wall == 1.0 means no overlap at all).
+        Per-tenant queue depths are in ``lanes`` (``ingress_depth`` /
+        ``handoff_depth``).
         """
         with self._lanes_lock:
             lanes = {app: lane.snapshot() for app, lane in self._lanes.items()}
@@ -337,8 +589,20 @@ class StagedExecutor:
             s["label_seconds"] + s["dispatch_seconds"] for s in lanes.values()
         )
         wall = max(self._clock() - self._started_at, 1e-12)
+        with self._pool_lock:
+            pool = {
+                "label_workers": self.label_workers,
+                "dispatch_workers": self.dispatch_workers,
+                "threads": self.label_workers + self.dispatch_workers,
+                "label_active": self._label_active,
+                "dispatch_active": self._dispatch_active,
+                "max_label_active": self._max_label_active,
+                "max_dispatch_active": self._max_dispatch_active,
+            }
         return {
             "queue_depth": self.queue_depth,
+            "tenants": len(lanes),
+            "pool": pool,
             "lanes": dict(sorted(lanes.items())),
             "busy_seconds": busy,
             "wall_seconds": wall,

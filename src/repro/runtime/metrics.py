@@ -93,24 +93,35 @@ class RuntimeMetrics:
     def snapshot(self) -> dict:
         """A plain-dict view for ``QuercService.stats()`` / dashboards.
 
-        Taken under the lock, so concurrent ``add``/``stage`` calls
-        can't produce a torn view (e.g. hits without their misses).
+        The raw counters are copied under the lock — so concurrent
+        ``add``/``stage`` calls can't produce a torn view (e.g. hits
+        without their misses) — but the dict is built and the derived
+        ratios computed *outside* it, so a dashboard polling
+        ``stats()`` never makes the hot path's writers queue behind
+        formatting work (see the contention note in
+        ``benchmarks/results/hot_path.txt``).
         """
         with self._lock:
-            hits, misses = self.cache_hits, self.cache_misses
-            queries, unique = self.queries, self.unique_templates
-            return {
-                "batches": self.batches,
-                "queries": queries,
-                "unique_templates": unique,
-                "embedded_templates": self.embedded_templates,
-                "transform_calls": self.transform_calls,
-                "cache_hits": hits,
-                "cache_misses": misses,
-                "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
-                "dedup_ratio": 1.0 - unique / queries if queries else 0.0,
-                "stage_seconds": dict(self.stage_seconds),
-            }
+            batches = self.batches
+            queries = self.queries
+            unique = self.unique_templates
+            embedded = self.embedded_templates
+            transforms = self.transform_calls
+            hits = self.cache_hits
+            misses = self.cache_misses
+            stage_seconds = dict(self.stage_seconds)
+        return {
+            "batches": batches,
+            "queries": queries,
+            "unique_templates": unique,
+            "embedded_templates": embedded,
+            "transform_calls": transforms,
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "dedup_ratio": 1.0 - unique / queries if queries else 0.0,
+            "stage_seconds": stage_seconds,
+        }
 
     def reset(self) -> None:
         """Zero every counter and timing (e.g. between bench phases)."""

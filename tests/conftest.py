@@ -6,6 +6,9 @@ once per session; tests must not mutate them.
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -83,3 +86,34 @@ def fitted_lstm(small_corpus) -> LSTMAutoencoderEmbedder:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def no_thread_leaks():
+    """Fail the test if it leaks live worker threads.
+
+    Snapshots ``threading.enumerate()`` before the test and asserts
+    every thread born during it is gone afterwards — the hygiene
+    contract for everything that owns a pool (the staged executor's
+    stage workers, the router's fan-out pool): ``close()`` must join
+    its threads, not abandon daemons. A short grace period absorbs
+    workers that are mid-exit when the test body returns.
+    """
+    # snapshot thread objects, not idents — the OS recycles idents, and
+    # a recycled ident would mask a genuine leak
+    before = set(threading.enumerate())
+    yield
+    deadline = time.monotonic() + 5.0
+    while True:
+        leaked = [
+            t
+            for t in threading.enumerate()
+            if t not in before and t.is_alive()
+        ]
+        if not leaked or time.monotonic() > deadline:
+            break
+        time.sleep(0.01)
+    assert not leaked, (
+        "test leaked worker threads (close() must join them): "
+        + ", ".join(repr(t.name) for t in leaked)
+    )

@@ -336,16 +336,19 @@ class _BarrierBackend(Backend):
 
 
 class TestParallelFanout:
-    def test_two_groups_execute_concurrently(self):
+    def test_two_groups_execute_concurrently(self, no_thread_leaks):
         barrier = threading.Barrier(2)
         registry, router = make_router(fanout_workers=4)
         registry.register(_BarrierBackend("DB(A)", barrier))
         registry.register(_BarrierBackend("DB(B)", barrier))
         batch = make_batch(2, "DB(A)") + make_batch(2, "DB(B)")
-        # sequential dispatch would block forever on the first barrier
-        report = router.dispatch("X", batch)
-        assert report.admitted == 4
-        assert {d.backend for d in report.decisions} == {"DB(A)", "DB(B)"}
+        try:
+            # sequential dispatch would block forever on the first barrier
+            report = router.dispatch("X", batch)
+            assert report.admitted == 4
+            assert {d.backend for d in report.decisions} == {"DB(A)", "DB(B)"}
+        finally:
+            router.close()  # hygiene: the fan-out pool must not outlive us
 
     def test_fanout_disabled_stays_sequential(self):
         registry, router = make_router(fanout_workers=0)
@@ -374,7 +377,7 @@ class TestParallelFanout:
         with pytest.raises(BackendError):
             BatchRouter(registry, fanout_workers=-1)
 
-    def test_close_releases_pool_and_dispatch_recreates(self):
+    def test_close_releases_pool_and_dispatch_recreates(self, no_thread_leaks):
         registry, router = make_router(fanout_workers=2)
         a, b = NullBackend("DB(A)"), NullBackend("DB(B)")
         registry.register(a)

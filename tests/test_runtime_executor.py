@@ -1,15 +1,18 @@
-"""The concurrent staged executor and the batch-size tuner.
+"""The staged executor's shared stage pool and the batch-size tuner.
 
 The overlap and isolation properties are proven with events, not
 timing: a test that requires stage B of batch *n* to wait on stage A
 of batch *n+1* can only pass when the stages genuinely run
-concurrently. Tuner tests drive the controller with synthetic
+concurrently, and the per-lane serialization invariant is proven by
+counting concurrent stage entries per application under a pool wide
+enough to violate it. Tuner tests drive the controller with synthetic
 observations and an injectable clock — fully deterministic, no sleeps.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -53,6 +56,11 @@ def _batch(app: str, step: int, n: int = 4) -> StreamBatch:
 
 
 class TestStagedExecutor:
+    @pytest.fixture(autouse=True)
+    def _hygiene(self, no_thread_leaks):
+        # every test here closes its executor; none may leak a worker
+        yield
+
     def test_results_in_order_with_both_stages_applied(self):
         with StagedExecutor(
             label_fn=lambda app, item: item * 2,
@@ -219,16 +227,258 @@ class TestStagedExecutor:
         assert stats["queue_depth"] == 2
         assert stats["busy_seconds"] >= 0
         assert 0 <= stats["overlap"]
+        assert stats["tenants"] == 1
+        pool = stats["pool"]
+        assert pool["threads"] == pool["label_workers"] + pool["dispatch_workers"]
+        assert 1 <= pool["max_label_active"] <= pool["label_workers"]
+        assert 1 <= pool["max_dispatch_active"] <= pool["dispatch_workers"]
 
     def test_invalid_queue_depth_rejected(self):
         with pytest.raises(ServiceError):
             StagedExecutor(lambda a, i: i, lambda a, i: i, queue_depth=0)
+
+    def test_invalid_worker_counts_rejected(self):
+        with pytest.raises(ServiceError):
+            StagedExecutor(lambda a, i: i, lambda a, i: i, label_workers=0)
+        with pytest.raises(ServiceError):
+            StagedExecutor(lambda a, i: i, lambda a, i: i, dispatch_workers=0)
+
+
+class TestSharedStagePool:
+    """The many-tenant properties of the shared pool scheduler."""
+
+    @pytest.fixture(autouse=True)
+    def _hygiene(self, no_thread_leaks):
+        yield
+
+    def test_thread_count_tracks_pool_size_not_tenants(self):
+        """32 tenants on a (2, 3) pool: exactly 5 worker threads."""
+        def worker_threads():
+            return [
+                t
+                for t in threading.enumerate()
+                if t.name.startswith(("querc-label-", "querc-dispatch-"))
+            ]
+
+        assert worker_threads() == []
+        with StagedExecutor(
+            lambda app, item: item,
+            lambda app, item: item,
+            label_workers=2,
+            dispatch_workers=3,
+        ) as ex:
+            results = ex.map(
+                [_batch(f"tenant-{i % 32}", i) for i in range(96)]
+            )
+            assert len(results) == 96
+            assert len(worker_threads()) == 5
+            stats = ex.stats()
+        assert stats["tenants"] == 32
+        assert stats["pool"]["threads"] == 5
+        assert all(
+            lane["labeled_batches"] == 3 for lane in stats["lanes"].values()
+        )
+
+    def test_at_most_one_batch_in_flight_per_lane_per_stage(self):
+        """A wide pool must never run two batches of one application
+        concurrently in the same stage — but it must run different
+        applications' batches concurrently (proven with a barrier that
+        only a genuinely shared pool can satisfy)."""
+        lock = threading.Lock()
+        in_label: dict[str, int] = {}
+        max_in_label: dict[str, int] = {}
+        barrier = threading.Barrier(2)
+        first = {"X": True, "Y": True}
+
+        def label(app, item):
+            with lock:
+                in_label[app] = in_label.get(app, 0) + 1
+                max_in_label[app] = max(max_in_label.get(app, 0), in_label[app])
+                hit_barrier = first[app]
+                first[app] = False
+            if hit_barrier:
+                # both tenants' first batches must be in stage A at
+                # once; per-tenant threads or a serial pool would
+                # deadlock here (the timeout turns that into a failure)
+                barrier.wait(WAIT)
+            with lock:
+                in_label[app] -= 1
+            return item
+
+        with StagedExecutor(
+            label, lambda app, item: item, label_workers=4, dispatch_workers=2
+        ) as ex:
+            futures = [ex.submit("X" if i % 2 else "Y", i) for i in range(16)]
+            [f.result(WAIT) for f in futures]
+        assert max_in_label == {"X": 1, "Y": 1}
+
+    def test_blocked_tenant_occupies_at_most_one_worker(self):
+        """Tenant X has many queued batches and a stuck stage A; only
+        one of the two label workers may be held, so tenant Y's whole
+        stream still flows."""
+        release = threading.Event()
+
+        def label(app, item):
+            if app == "X":
+                assert release.wait(WAIT)
+            return item
+
+        with StagedExecutor(
+            label, lambda app, item: item, label_workers=2, dispatch_workers=2
+        ) as ex:
+            stuck = [ex.submit("X", i) for i in range(4)]  # queue_depth default
+            fast = [ex.submit("Y", i) for i in range(8)]
+            assert [f.result(WAIT) for f in fast] == list(range(8))
+            assert not any(f.done() for f in stuck)
+            release.set()
+            assert [f.result(WAIT) for f in stuck] == list(range(4))
+
+    def test_concurrent_close_callers_all_wait_for_the_drain(self):
+        """A second close() racing the first must not return before the
+        drain finishes — both callers may rely on close()'s guarantees."""
+        release = threading.Event()
+
+        def dispatch(app, item):
+            assert release.wait(WAIT)
+            return item
+
+        ex = StagedExecutor(
+            lambda app, item: item, dispatch, label_workers=1, dispatch_workers=1
+        )
+        future = ex.submit("X", 1)
+        closers = [threading.Thread(target=ex.close) for _ in range(2)]
+        for t in closers:
+            t.start()
+        # the batch is stuck in dispatch: neither close() may return yet
+        for t in closers:
+            t.join(0.2)
+        assert all(t.is_alive() for t in closers)
+        release.set()
+        for t in closers:
+            t.join(WAIT)
+        assert not any(t.is_alive() for t in closers)
+        assert future.result(WAIT) == 1
+
+    def test_hostile_hooks_never_kill_a_worker(self):
+        """A tuner/feedback hook raising — even a BaseException — is
+        counted per lane; the batch resolves, the pool survives, and
+        close() still drains (a dead worker would wedge it)."""
+
+        class Hostile(BaseException):
+            pass
+
+        class ExplodingLen:
+            def __len__(self):
+                raise ValueError("no length for you")
+
+        class ExplodingTuner:
+            def observe(self, *args, **kwargs):
+                raise Hostile("tuner down")
+
+            def observe_admission(self, *args, **kwargs):
+                raise Hostile("tuner down")
+
+        def feedback(app, result):
+            raise Hostile("feedback down")
+
+        with StagedExecutor(
+            lambda app, item: item,
+            lambda app, item: "placed",
+            tuner=ExplodingTuner(),
+            dispatch_feedback=feedback,
+            label_workers=1,
+            dispatch_workers=1,
+        ) as ex:
+            futures = [ex.submit("X", ExplodingLen()) for _ in range(3)]
+            assert [f.result(WAIT) for f in futures] == ["placed"] * 3
+            lane = ex.stats()["lanes"]["X"]
+        # both hooks failed on every batch: tuner on stage A, feedback
+        # on stage B — and none of it failed a batch or a worker
+        assert lane["feedback_errors"] == 6
+        assert lane["dispatched_batches"] == 3
+
+    def test_raising_clock_resolves_the_batch_and_spares_the_worker(self):
+        """Even the injected clock blowing up mid-batch must resolve
+        that batch's future and leave the pool serving — a dead worker
+        would wedge the lane and hang close()."""
+        calls = {"n": 0}
+        armed = threading.Event()
+
+        def flaky_clock():
+            if armed.is_set():
+                armed.clear()
+                raise RuntimeError("clock down")
+            calls["n"] += 1
+            return float(calls["n"])
+
+        with StagedExecutor(
+            lambda app, item: item,
+            lambda app, item: item,
+            clock=flaky_clock,
+            label_workers=1,
+            dispatch_workers=1,
+        ) as ex:
+            # arm after construction so the failure lands mid-batch (the
+            # stage-A timing read), the worst possible spot
+            armed.set()
+            first = ex.submit("X", 1)
+            with pytest.raises(RuntimeError, match="clock down"):
+                first.result(WAIT)
+            # the worker survived: later batches flow normally
+            assert [ex.submit("X", i).result(WAIT) for i in (2, 3)] == [2, 3]
+            # ...and the fallback-failed batch is a counted error, so
+            # submitted still reconciles with labeled + errors
+            lane = ex.stats()["lanes"]["X"]
+        assert lane["label_errors"] == 1
+        assert lane["submitted"] == lane["labeled_batches"] + lane["label_errors"]
+
+    def test_close_drains_backpressured_lane(self):
+        """close() racing a producer blocked on a full ingress: every
+        accepted future resolves, the blocked submit raises."""
+        gate = threading.Event()
+
+        def label(app, item):
+            assert gate.wait(WAIT)
+            return item
+
+        ex = StagedExecutor(
+            label, lambda app, item: item, queue_depth=1, label_workers=1,
+            dispatch_workers=1,
+        )
+        accepted: list = []
+        outcome: dict = {}
+
+        def produce():
+            try:
+                for i in range(10):
+                    accepted.append(ex.submit("X", i))
+            except ServiceError:
+                outcome["rejected"] = True
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        while len(accepted) < 1:  # producer is now blocked on depth-1 ingress
+            time.sleep(0.001)
+        closer = threading.Thread(target=ex.close)
+        closer.start()
+        gate.set()  # un-stick stage A so the drain can complete
+        producer.join(WAIT)
+        closer.join(WAIT)
+        assert not producer.is_alive() and not closer.is_alive()
+        assert outcome.get("rejected") or len(accepted) == 10
+        for i, future in enumerate(accepted):
+            assert future.result(WAIT) == i  # drained, in order, no strands
 
 
 # -- service wiring -----------------------------------------------------------
 
 
 class TestProcessRoutedConcurrent:
+    @pytest.fixture(autouse=True)
+    def _hygiene(self, no_thread_leaks):
+        # process_routed_concurrent closes its executor before returning
+        yield
+
     def _service(self) -> QuercService:
         service = QuercService()
         service.register_backend(NullBackend("DB(X)"))
@@ -287,6 +537,25 @@ class TestProcessRoutedConcurrent:
         with pytest.raises(ServiceError, match="sink"):
             service.process_routed_concurrent(batches)
         assert backend.accepted == 5  # dispatch still happened
+
+    def test_pool_knobs_flow_through_and_undersized_pool_stays_serial_identical(self):
+        """One label worker for two tenants: still serial-identical
+        results, and the executor stats report the configured pool."""
+        batches = self._batches()
+        pooled = self._service()
+        serial = self._service()
+        got = pooled.process_routed_concurrent(
+            batches, label_workers=1, dispatch_workers=2
+        )
+        want = [serial.process_routed(b) for b in batches]
+        for (got_labeled, _), (want_labeled, _) in zip(got, want):
+            assert [m.query for m in got_labeled] == [
+                m.query for m in want_labeled
+            ]
+        pool = pooled.stats()["executor"]["pool"]
+        assert pool["label_workers"] == 1
+        assert pool["dispatch_workers"] == 2
+        assert pool["max_label_active"] == 1
 
     def test_worker_state_matches_serial(self):
         batches = self._batches()

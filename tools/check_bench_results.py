@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Benchmark-results health: every BENCH_*.json matches the schema.
+
+The CI benchmarks step uploads ``benchmarks/results/BENCH_*.json`` as
+the machine-readable perf trajectory; dashboards and the advisory
+speedup gates consume them. This checker keeps the records honest: a
+bench that drifts away from the shared shape (or writes a truncated /
+non-JSON file on a crashed run) fails fast instead of silently
+producing an artifact nothing can read.
+
+Schema (extra fields are welcome — these are the floor):
+
+* ``name``    — non-empty string identifying the benchmark;
+* ``config``  — non-empty object with the run's shape (queries,
+  batch sizes, thread budgets, ...);
+* ``speedup`` — the headline ratio, a finite number > 0;
+* ``qps``     — an object mapping each measured path to a finite
+  throughput number > 0 (at least one entry).
+
+Run from anywhere::
+
+    python tools/check_bench_results.py
+
+Exit status 0 when every record validates (or none exist yet), 1 with
+one line per problem otherwise. CI runs this right after the benchmark
+steps; ``tests/test_bench_results_schema.py`` runs the same checks in
+tier-1 against the committed records.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+
+def _is_positive_number(value) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+        and value > 0
+    )
+
+
+def validate_record(record, label: str) -> list[str]:
+    """Problems with one parsed BENCH record (empty list = valid)."""
+    problems = []
+    if not isinstance(record, dict):
+        return [f"{label}: top level must be a JSON object"]
+    name = record.get("name")
+    if not isinstance(name, str) or not name.strip():
+        problems.append(f"{label}: 'name' must be a non-empty string")
+    config = record.get("config")
+    if not isinstance(config, dict) or not config:
+        problems.append(f"{label}: 'config' must be a non-empty object")
+    if not _is_positive_number(record.get("speedup")):
+        problems.append(f"{label}: 'speedup' must be a finite number > 0")
+    qps = record.get("qps")
+    if not isinstance(qps, dict) or not qps:
+        problems.append(f"{label}: 'qps' must be a non-empty object")
+    else:
+        for key, value in qps.items():
+            if not _is_positive_number(value):
+                problems.append(
+                    f"{label}: qps[{key!r}] must be a finite number > 0"
+                )
+    return problems
+
+
+def check_results(results_dir: Path = RESULTS_DIR) -> list[str]:
+    """Validate every BENCH_*.json under ``results_dir``."""
+    problems = []
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        label = str(path.relative_to(REPO_ROOT)) if path.is_relative_to(
+            REPO_ROOT
+        ) else str(path)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            problems.append(f"{label}: unreadable JSON ({exc})")
+            continue
+        problems.extend(validate_record(record, label))
+    return problems
+
+
+def main() -> int:
+    problems = check_results()
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    n = len(list(RESULTS_DIR.glob("BENCH_*.json"))) if RESULTS_DIR.is_dir() else 0
+    print(f"bench results ok ({n} BENCH_*.json record(s) validated)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
