@@ -45,14 +45,28 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.backends.admission import AdmissionController
 from repro.backends.base import Backend, BatchResult
 from repro.backends.policy import CandidateView, LoadSignal, RoutingPolicy
 from repro.errors import BackendError
+from repro.runtime.columnar import ColumnarBatch, ColumnarSlice
 from repro.runtime.metrics import RuntimeMetrics
 
 if TYPE_CHECKING:  # avoid an import cycle with repro.core
     from repro.core.labeled_query import LabeledQuery
+
+
+def _queries_of(messages: "Sequence[LabeledQuery] | ColumnarSlice") -> "list[str]":
+    """Raw SQL texts of a dispatch group, without materializing labels.
+
+    Columnar slices read straight from the batch's text array; message
+    lists fall back to the per-object attribute walk.
+    """
+    if isinstance(messages, ColumnarSlice):
+        return messages.queries()
+    return [m.query for m in messages]
 
 
 class SpillPolicy(str, Enum):
@@ -463,7 +477,10 @@ class BatchRouter:
 
     def resolve(self, message: "LabeledQuery", default: str | None = None) -> str:
         """Backend name for one labeled message."""
-        label = message.label(self.route_label)
+        return self._resolve_label(message.label(self.route_label), default)
+
+    def _resolve_label(self, label, default: str | None = None) -> str:
+        """The static chain for one predicted label value."""
         with self._lock:
             mapped = self._routes.get(label)
         if mapped is not None:
@@ -482,7 +499,7 @@ class BatchRouter:
     def dispatch(
         self,
         application: str,
-        batch: "Sequence[LabeledQuery]",
+        batch: "Sequence[LabeledQuery] | ColumnarBatch",
         default: str | None = None,
     ) -> DispatchReport:
         """Route one labeled batch; returns what happened per backend.
@@ -492,48 +509,129 @@ class BatchRouter:
         static route table decides. Multi-backend batches fan out in
         parallel on the shared pool (errors from every group are
         awaited; the first, in group order, is re-raised).
+
+        A :class:`~repro.runtime.columnar.ColumnarBatch` is partitioned
+        by its route-label array — labels resolve once per distinct
+        template and the per-backend groups are zero-copy row slices;
+        no per-message objects are built unless a spill path needs
+        them. A plain message list takes the original per-message path.
         """
         if not batch:
             return DispatchReport(application=application)
         policy = self.policy
         with self.metrics.stage("route"):
-            groups: dict[str, list[LabeledQuery]] = {}
-            if policy is None:
-                for message in batch:
-                    groups.setdefault(
-                        self.resolve(message, default), []
-                    ).append(message)
+            if isinstance(batch, ColumnarBatch):
+                groups = self._group_columnar(batch, default, policy)
             else:
-                targets: dict[object, str | None] = {}
-                view_cache: dict = {}
-                for message in batch:
-                    label = message.label(self.route_label)
-                    if label not in targets:
-                        targets[label] = self._policy_target(
-                            label, policy, view_cache
-                        )
-                    target = targets[label]
-                    if target is None:
-                        # policy abstained: the static chain decides
-                        target = self.resolve(message, default)
-                    groups.setdefault(target, []).append(message)
-                with self._lock:
-                    # both counters are per (label, batch), the same
-                    # unit as a rerank — their sum is the number of
-                    # placement consultations this batch
-                    for label, target in targets.items():
-                        if target is None:
-                            self._static_fallbacks += 1
-                            continue
-                        per_label = self._decisions.setdefault(label, {})
-                        per_label[target] = per_label.get(target, 0) + 1
+                groups = self._group_messages(batch, default, policy)
         return DispatchReport(
             application=application,
             decisions=tuple(self._dispatch_groups(groups)),
         )
 
+    def _group_messages(
+        self,
+        batch: "Sequence[LabeledQuery]",
+        default: str | None,
+        policy: RoutingPolicy | None,
+    ) -> "dict[str, list[LabeledQuery]]":
+        groups: dict[str, list[LabeledQuery]] = {}
+        if policy is None:
+            for message in batch:
+                groups.setdefault(
+                    self.resolve(message, default), []
+                ).append(message)
+            return groups
+        targets: dict[object, str | None] = {}
+        view_cache: dict = {}
+        for message in batch:
+            label = message.label(self.route_label)
+            if label not in targets:
+                targets[label] = self._policy_target(
+                    label, policy, view_cache
+                )
+            target = targets[label]
+            if target is None:
+                # policy abstained: the static chain decides
+                target = self.resolve(message, default)
+            groups.setdefault(target, []).append(message)
+        self._note_policy_targets(targets)
+        return groups
+
+    def _group_columnar(
+        self,
+        batch: ColumnarBatch,
+        default: str | None,
+        policy: RoutingPolicy | None,
+    ) -> "dict[str, ColumnarSlice]":
+        """Partition a columnar batch by its route-label column.
+
+        Placement is decided once per distinct label (exactly like the
+        per-message path — same policy consultations, same bookkeeping)
+        but over the *template* axis, then scattered to rows with one
+        fancy index. Group ordering matches the per-message path:
+        backends appear in order of their first message in the batch,
+        and rows within a group keep batch order.
+        """
+        column = batch.column(self.route_label)
+        if column is None:
+            # unlabeled for the route key: every row resolves as None
+            template_labels: Sequence[object] = np.array([None], dtype=object)
+            inverse = np.zeros(len(batch), dtype=np.intp)
+        else:
+            template_labels = column.template_values
+            inverse = column.inverse
+        targets: dict[object, str | None] = {}
+        view_cache: dict = {}
+        resolved: dict[object, str] = {}
+        group_names: list[str] = []
+        name_pos: dict[str, int] = {}
+        template_group = np.empty(len(template_labels), dtype=np.intp)
+        for t, label in enumerate(template_labels):
+            target = resolved.get(label)
+            if target is None:
+                if policy is not None:
+                    if label not in targets:
+                        targets[label] = self._policy_target(
+                            label, policy, view_cache
+                        )
+                    target = targets[label]
+                if policy is None or target is None:
+                    # no policy, or it abstained: the static chain decides
+                    target = self._resolve_label(label, default)
+                resolved[label] = target
+            pos = name_pos.get(target)
+            if pos is None:
+                pos = name_pos[target] = len(group_names)
+                group_names.append(target)
+            template_group[t] = pos
+        if policy is not None:
+            self._note_policy_targets(targets)
+        row_group = template_group[inverse]
+        uniq, first_row, inv = np.unique(
+            row_group, return_index=True, return_inverse=True
+        )
+        groups: dict[str, ColumnarSlice] = {}
+        for pos in np.argsort(first_row, kind="stable"):
+            groups[group_names[int(uniq[pos])]] = batch.select(
+                np.flatnonzero(inv == pos)
+            )
+        return groups
+
+    def _note_policy_targets(self, targets: "dict[object, str | None]") -> None:
+        with self._lock:
+            # both counters are per (label, batch), the same unit as a
+            # rerank — their sum is the number of placement
+            # consultations this batch
+            for label, target in targets.items():
+                if target is None:
+                    self._static_fallbacks += 1
+                    continue
+                per_label = self._decisions.setdefault(label, {})
+                per_label[target] = per_label.get(target, 0) + 1
+
     def _dispatch_groups(
-        self, groups: "dict[str, list[LabeledQuery]]"
+        self, groups: "dict[str, list[LabeledQuery] | ColumnarSlice]"
     ) -> "list[RouteDecision]":
         """Offer every per-backend group; in parallel when k > 1.
 
@@ -578,7 +676,7 @@ class BatchRouter:
         return [decision for group in collected for decision in group]
 
     def _dispatch_group(
-        self, name: str, messages: "list[LabeledQuery]"
+        self, name: str, messages: "list[LabeledQuery] | ColumnarSlice"
     ) -> "list[RouteDecision]":
         binding = self.registry.get(name)
         # parked work goes first: FIFO across dispatches
@@ -668,7 +766,7 @@ class BatchRouter:
     def _offer(
         self,
         binding: BackendBinding,
-        messages: "list[LabeledQuery]",
+        messages: "list[LabeledQuery] | ColumnarSlice",
         allow_spill: bool,
         from_queue: bool = False,
         spilled_from: str = "",
@@ -726,7 +824,7 @@ class BatchRouter:
             start = time.perf_counter()
             try:
                 with self.metrics.stage("execute"):
-                    result = binding.backend.execute([m.query for m in admitted])
+                    result = binding.backend.execute(_queries_of(admitted))
             finally:
                 elapsed = time.perf_counter() - start
                 binding.admission.release(admitted_n)

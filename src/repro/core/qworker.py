@@ -19,6 +19,7 @@ from collections.abc import Callable
 from repro.core.classifier import QueryClassifier
 from repro.core.labeled_query import LabeledQuery
 from repro.errors import ServiceError
+from repro.runtime.columnar import ColumnarBatch
 from repro.runtime.pipeline import InferencePipeline
 
 
@@ -98,7 +99,8 @@ class QWorker:
         Returns the labeled batch — forwarded through the dispatcher
         (the backend router) when the worker is on the critical path,
         or dropped when ``forward_to_database`` is False (the forked
-        mode).
+        mode). The dispatcher receives the *columnar* batch — the
+        router partitions by label array without per-message grouping.
         """
         self.last_dispatch = None  # per-call: never report a stale dispatch
         if not batch:
@@ -106,20 +108,34 @@ class QWorker:
             # dispatch — and no metrics skew from empty batches
             return []
         errors: list[Exception] = []
-        labeled = self.label_batch(batch, collect_errors=errors)
+        columnar = self.label_batch_columnar(batch, collect_errors=errors)
         dispatch_error: Exception | None = None
         try:
-            self.dispatch_labeled(labeled)
+            self.dispatch_labeled(columnar)
         except Exception as exc:  # noqa: BLE001 - don't eat sink failures
             dispatch_error = exc
         self.raise_failures(errors, dispatch_error)
-        return labeled if self.forward_to_database else []
+        return columnar.to_messages() if self.forward_to_database else []
 
     def label_batch(
         self,
         batch: list[LabeledQuery],
         collect_errors: list[Exception] | None = None,
     ) -> list[LabeledQuery]:
+        """Stage A of the worker, with per-query messages out.
+
+        Object-boundary wrapper over :meth:`label_batch_columnar` for
+        callers that want ``list[LabeledQuery]`` directly.
+        """
+        return self.label_batch_columnar(
+            batch, collect_errors=collect_errors
+        ).to_messages()
+
+    def label_batch_columnar(
+        self,
+        batch: list[LabeledQuery],
+        collect_errors: list[Exception] | None = None,
+    ) -> ColumnarBatch:
         """Stage A of the worker: run the pipeline and fan out to sinks.
 
         This is the async drain mode used by the staged executor —
@@ -128,29 +144,37 @@ class QWorker:
         appended to ``collect_errors`` when given (so a failed training
         fork can't stop the batch from reaching its database), else
         raised after every sink saw the batch.
+
+        The labeled batch stays columnar; sinks and the recent-query
+        window receive (and share) the one cached ``to_messages()``
+        materialization. With no sinks and a zero-size window the
+        messages are never built here at all.
         """
         if not batch:
-            return []
-        labeled = self.pipeline.run(list(batch), self._classifiers)
-        self.window.extend(labeled)
-        self.processed_count += len(labeled)
+            return ColumnarBatch([])
+        columnar = self.pipeline.run_columnar(list(batch), self._classifiers)
+        if self.window.maxlen is None or self.window.maxlen > 0:
+            self.window.extend(columnar.to_messages())
+        self.processed_count += len(columnar)
         errors: list[Exception] = [] if collect_errors is None else collect_errors
         for sink in self._sinks:
             try:
-                sink(self.application, labeled)
+                sink(self.application, columnar.to_messages())
             except Exception as exc:  # noqa: BLE001 - isolate sinks from each other
                 errors.append(exc)
         if collect_errors is None:
             self.raise_failures(errors, None)
-        return labeled
+        return columnar
 
-    def dispatch_labeled(self, labeled: list[LabeledQuery]):
+    def dispatch_labeled(self, labeled: "list[LabeledQuery] | ColumnarBatch"):
         """Stage B of the worker: hand a labeled batch to the dispatcher.
 
         Runs the database-bound path even when a training sink failed —
         forks must not drop critical-path work. Returns the dispatch
         report (also kept on ``last_dispatch``), or None when the
-        worker is in forked mode or has no dispatcher.
+        worker is in forked mode or has no dispatcher. Accepts either
+        the columnar form (preferred — the router dispatches it
+        array-natively) or a plain message list.
         """
         if not self.forward_to_database or self._dispatcher is None or not labeled:
             return None

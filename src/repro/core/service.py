@@ -362,25 +362,34 @@ class QuercService:
         """Executor stage A: convert the stream batch and label it.
 
         Sink failures are collected, not raised — the batch must still
-        reach its database (stage B) before they surface.
+        reach its database (stage B) before they surface. The lane's
+        label→dispatch hand-off carries the *columnar* batch, not a
+        per-message list; stage B dispatches it array-natively.
         """
         app = self.application(application)
         messages = [_to_message(record) for record in batch.records]
         sink_errors: list[Exception] = []
-        labeled = app.worker.label_batch(messages, collect_errors=sink_errors)
-        return labeled, sink_errors
+        columnar = app.worker.label_batch_columnar(
+            messages, collect_errors=sink_errors
+        )
+        return columnar, sink_errors
 
     def _stage_dispatch(self, application: str, staged):
-        """Executor stage B: route + execute, then surface failures."""
-        labeled, sink_errors = staged
+        """Executor stage B: route + execute, then surface failures.
+
+        Only here — after dispatch — does the columnar batch
+        materialize per-query messages for the caller's result list.
+        """
+        columnar, sink_errors = staged
         app = self.application(application)
         dispatch_error: Exception | None = None
         report = None
         try:
-            report = app.worker.dispatch_labeled(labeled)
+            report = app.worker.dispatch_labeled(columnar)
         except Exception as exc:  # noqa: BLE001 - aggregate with sink failures
             dispatch_error = exc
         app.worker.raise_failures(sink_errors, dispatch_error)
+        labeled = columnar.to_messages()
         return labeled, report if isinstance(report, DispatchReport) else None
 
     def stats(self) -> dict:

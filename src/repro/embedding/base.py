@@ -14,7 +14,11 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.errors import EmbeddingError, NotFittedError
-from repro.sql.normalizer import fingerprint_token_stream, safe_token_stream
+from repro.sql.normalizer import (
+    fingerprint_token_stream,
+    safe_token_stream,
+    template_fingerprints,
+)
 
 
 class QueryEmbedder(abc.ABC):
@@ -102,7 +106,19 @@ class QueryEmbedder(abc.ABC):
         return fingerprint_token_stream(self.tokenize(query))
 
     def fingerprints(self, queries: Sequence[str]) -> list[str]:
-        """Per-query template fingerprints (see :meth:`fingerprint`)."""
+        """Per-query template fingerprints (see :meth:`fingerprint`).
+
+        When neither :meth:`tokenize` nor :meth:`fingerprint` is
+        overridden, the result is by definition the default template
+        fingerprint, so the batch goes through the process-wide
+        fingerprint memo — exact-text repeats skip tokenization.
+        """
+        cls = type(self)
+        if (
+            cls.fingerprint is QueryEmbedder.fingerprint
+            and cls.tokenize is QueryEmbedder.tokenize
+        ):
+            return template_fingerprints(queries)
         return [self.fingerprint(q) for q in queries]
 
     def validate_vectors(self, vectors: np.ndarray) -> np.ndarray:

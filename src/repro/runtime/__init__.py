@@ -6,9 +6,14 @@ package is the answer: a batch :class:`InferencePipeline` that
 deduplicates each batch by literal-folded template fingerprint, embeds
 only cache-missing templates with **one** ``transform`` call per
 distinct embedder, and fans the shared vectors out to every
-classifier. A bounded :class:`EmbeddingCache` carries template vectors
-across batches and workers; :class:`RuntimeMetrics` exposes per-stage
-timings, cache hit rate, and dedup ratio through
+classifier. Batches stay **columnar** end to end: labels are recorded
+as template-granularity arrays on a :class:`ColumnarBatch` that flows
+through the router and staged executor, materializing per-query
+messages once at the ``to_messages()`` boundary. A bounded
+:class:`EmbeddingCache` carries template vectors across batches and
+workers (string-keyed entries plus id-indexed matrix lanes);
+:class:`RuntimeMetrics` exposes per-stage timings, cache hit rate,
+fingerprint-memo hit rate, and dedup ratio through
 ``QuercService.stats()``.
 
 On top of the pipeline, :class:`StagedExecutor` runs the label stage
@@ -19,6 +24,7 @@ those lanes actually observe.
 """
 
 from repro.runtime.cache import EmbeddingCache
+from repro.runtime.columnar import ColumnarBatch, ColumnarSlice, LabelColumn
 from repro.runtime.executor import StagedExecutor, StagedFuture
 from repro.runtime.metrics import STAGES, RuntimeMetrics
 from repro.runtime.pipeline import InferencePipeline, embed_queries
@@ -26,6 +32,9 @@ from repro.runtime.tuner import BatchSizeTuner
 
 __all__ = [
     "EmbeddingCache",
+    "ColumnarBatch",
+    "ColumnarSlice",
+    "LabelColumn",
     "RuntimeMetrics",
     "STAGES",
     "InferencePipeline",

@@ -1,0 +1,163 @@
+"""Array-native batch representation for the inference hot path.
+
+LearnedWMP's observation — production workloads collapse onto a small
+template distribution — means a labeled batch is tiny *per template*:
+a 1,000-query batch usually carries a few dozen distinct templates.
+The columnar form exploits that. A :class:`ColumnarBatch` keeps one
+contiguous array per label column at **template** granularity (the
+predicted value per distinct template, plus the batch's
+template-inverse index), so the pipeline predicts once per template,
+the router partitions by array instead of grouping message objects,
+and per-query :class:`~repro.core.labeled_query.LabeledQuery` copies
+are materialized exactly once, at the :meth:`ColumnarBatch.to_messages`
+boundary — or per-row on demand for the rare spill paths.
+
+The batch flows pipeline → Qworker → router → backend without
+rebuilding Python objects between stages; ``to_messages()`` caches its
+result, so sinks, windows and the public API share one materialization.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid an import cycle with repro.core
+    from repro.core.labeled_query import LabeledQuery
+
+
+class LabelColumn:
+    """One classifier's predictions, stored at template granularity.
+
+    ``template_values[inverse[i]]`` is query *i*'s label — one fancy
+    index scatters the whole column. Columns from different embedder
+    groups carry different inverses (custom tokenizations dedup
+    differently), which is why the inverse lives on the column, not
+    the batch.
+    """
+
+    __slots__ = ("name", "template_values", "inverse")
+
+    def __init__(
+        self, name: str, template_values: np.ndarray, inverse: np.ndarray
+    ) -> None:
+        self.name = name
+        self.template_values = template_values  # object array, one per template
+        self.inverse = inverse  # intp array, one per query
+
+    def values(self) -> np.ndarray:
+        """Per-query label values (object array, len == batch size)."""
+        return self.template_values[self.inverse]
+
+    def value_at(self, i: int):
+        return self.template_values[self.inverse[i]]
+
+
+class ColumnarBatch:
+    """A labeled batch as arrays; messages only at the boundary.
+
+    Holds the original (pre-labeling) messages, their query texts, and
+    the accumulated :class:`LabelColumn`\\ s. Supports ``len`` and
+    truthiness like the message list it replaces.
+    """
+
+    __slots__ = ("messages", "queries", "columns", "_materialized")
+
+    def __init__(
+        self,
+        messages: "Sequence[LabeledQuery]",
+        queries: list[str] | None = None,
+    ) -> None:
+        self.messages = list(messages)
+        self.queries = (
+            queries if queries is not None else [m.query for m in self.messages]
+        )
+        self.columns: list[LabelColumn] = []
+        self._materialized: "list[LabeledQuery] | None" = None
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def add_column(
+        self, name: str, template_values: np.ndarray, inverse: np.ndarray
+    ) -> None:
+        if self._materialized is not None:
+            raise RuntimeError(
+                "cannot add label columns after to_messages() materialized"
+            )
+        self.columns.append(LabelColumn(name, template_values, inverse))
+
+    def column(self, name: str) -> LabelColumn | None:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        return None
+
+    def select(self, indices: np.ndarray) -> "ColumnarSlice":
+        """A zero-copy view of a subset of rows (router partitions)."""
+        return ColumnarSlice(self, np.asarray(indices, dtype=np.intp))
+
+    def message_at(self, i: int) -> "LabeledQuery":
+        """One fully-labeled message, materialized on demand."""
+        if self._materialized is not None:
+            return self._materialized[i]
+        if not self.columns:
+            return self.messages[i]
+        return self.messages[i].with_labels(
+            **{col.name: col.value_at(i) for col in self.columns}
+        )
+
+    def to_messages(self) -> "list[LabeledQuery]":
+        """The labeled batch as per-query messages (cached).
+
+        One ``with_labels`` per message — the single object-
+        materialization point of the whole hot path. Every label column
+        is scattered with one fancy index before the per-message loop.
+        """
+        if self._materialized is None:
+            if not self.columns:
+                self._materialized = list(self.messages)
+            else:
+                scattered = [(col.name, col.values()) for col in self.columns]
+                self._materialized = [
+                    message.with_labels(
+                        **{name: values[i] for name, values in scattered}
+                    )
+                    for i, message in enumerate(self.messages)
+                ]
+        return self._materialized
+
+
+class ColumnarSlice:
+    """A row subset of a :class:`ColumnarBatch` for dispatch groups.
+
+    Quacks enough like ``list[LabeledQuery]`` for the router's offer
+    path — ``len``, slicing, iteration — but keeps the columnar form:
+    ``queries()`` reads straight from the batch's text array, and
+    per-message materialization happens only when a spill path really
+    iterates the slice (queueing parked work, fallback hand-off).
+    """
+
+    __slots__ = ("batch", "indices")
+
+    def __init__(self, batch: ColumnarBatch, indices: np.ndarray) -> None:
+        self.batch = batch
+        self.indices = indices
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return ColumnarSlice(self.batch, self.indices[item])
+        return self.batch.message_at(int(self.indices[item]))
+
+    def __iter__(self) -> "Iterator[LabeledQuery]":
+        batch = self.batch
+        for i in self.indices:
+            yield batch.message_at(int(i))
+
+    def queries(self) -> list[str]:
+        texts = self.batch.queries
+        return [texts[i] for i in self.indices]

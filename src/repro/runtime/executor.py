@@ -16,6 +16,13 @@ pipelines them across batches:
   :class:`~repro.backends.router.BatchRouter` and its backends
   (typically dominated by backend latency).
 
+The label→dispatch hand-off carries
+:class:`~repro.runtime.columnar.ColumnarBatch` records, not
+per-message lists: stage A leaves its predictions as template-level
+arrays, stage B partitions them by label array, and per-query
+:class:`~repro.core.labeled_query.LabeledQuery` objects materialize
+once, after dispatch, for the caller's result list.
+
 Earlier revisions gave every application its own pair of OS threads
 (one per stage). That shape breaks down at many-tenant scale: 100
 applications meant 200 mostly-idle threads, almost all of them blocked

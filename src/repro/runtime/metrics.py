@@ -38,6 +38,11 @@ class RuntimeMetrics:
     transform_calls: int = 0  # embedder.transform invocations
     cache_hits: int = 0
     cache_misses: int = 0
+    # fingerprint-table counters (the normalizer's process-wide memo /
+    # intern table, as seen from this runtime's batches)
+    fingerprint_memo_hits: int = 0
+    fingerprint_memo_misses: int = 0
+    intern_overflow: int = 0  # queries whose template had no intern slot
     stage_seconds: dict[str, float] = field(
         default_factory=lambda: {name: 0.0 for name in _ALL_STAGES}
     )
@@ -53,6 +58,9 @@ class RuntimeMetrics:
         "transform_calls",
         "cache_hits",
         "cache_misses",
+        "fingerprint_memo_hits",
+        "fingerprint_memo_misses",
+        "intern_overflow",
     )
 
     def add(self, **deltas: int) -> None:
@@ -109,7 +117,11 @@ class RuntimeMetrics:
             transforms = self.transform_calls
             hits = self.cache_hits
             misses = self.cache_misses
+            memo_hits = self.fingerprint_memo_hits
+            memo_misses = self.fingerprint_memo_misses
+            overflow = self.intern_overflow
             stage_seconds = dict(self.stage_seconds)
+        memo_total = memo_hits + memo_misses
         return {
             "batches": batches,
             "queries": queries,
@@ -119,6 +131,12 @@ class RuntimeMetrics:
             "cache_hits": hits,
             "cache_misses": misses,
             "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "fingerprint_memo_hits": memo_hits,
+            "fingerprint_memo_misses": memo_misses,
+            "fingerprint_memo_hit_rate": (
+                memo_hits / memo_total if memo_total else 0.0
+            ),
+            "intern_overflow": overflow,
             "dedup_ratio": 1.0 - unique / queries if queries else 0.0,
             "stage_seconds": stage_seconds,
         }

@@ -6,23 +6,35 @@ re-tokenized and re-embedded the full batch, so a worker with four
 classifiers sharing one embedder paid the embedding cost four times.
 The pipeline restructures one batch's inference as:
 
-1. **fingerprint** — a literal-folded template fingerprint per query
-   (:func:`repro.sql.normalizer.template_fingerprint`);
-2. **dedup** — collapse the batch to its distinct templates;
-3. **embed** — one ``transform`` call per *distinct embedder* (not per
-   classifier) over only the templates missing from the bounded LRU
-   :class:`~repro.runtime.cache.EmbeddingCache`;
-4. **predict/scatter** — fan the shared vectors out to every
-   classifier's labeler and scatter predictions back over the batch,
-   attaching all labels in a single copy per message.
+1. **fingerprint** — dense interned template ids per query via the
+   process-wide fingerprint memo
+   (:func:`repro.sql.normalizer.template_fingerprint_ids`): repeated
+   texts skip tokenization, repeated templates share one id;
+2. **dedup** — ``np.unique`` over the id array collapses the batch to
+   its distinct templates (no Python dict loop);
+3. **embed** — one vectorized
+   :meth:`~repro.runtime.cache.EmbeddingCache.get_matrix` probe per
+   distinct embedder, then one ``transform`` call covering exactly the
+   missing templates;
+4. **predict** — each classifier predicts over the *unique* template
+   vectors only (k rows, not n);
+5. **scatter** — one fancy index per label column, at template
+   granularity, recorded on a
+   :class:`~repro.runtime.columnar.ColumnarBatch`. Per-query
+   ``LabeledQuery`` objects are materialized once, at the batch's
+   ``to_messages()`` boundary — the router partitions the columnar
+   form directly.
 
 For deterministic embedders (e.g. bag-of-tokens) the output is
 semantically equivalent to the legacy per-classifier path, up to
 floating-point batch-shape jitter (~1e-16: BLAS rounds a k-row matmul
-differently from an n-row one). For embedders with stochastic
-inference (Doc2Vec trains a fresh vector per call) the pipeline is a
-semantic *improvement*: duplicates of one template now share one
-canonical vector instead of each drawing its own noisy sample.
+differently from an n-row one). Predicting over unique templates is
+exact for the row-independent estimators in this repo (forests route
+each row through tree thresholds; k-means takes a per-row argmin). For
+embedders with stochastic inference (Doc2Vec trains a fresh vector per
+call) the pipeline is a semantic *improvement*: duplicates of one
+template now share one canonical vector instead of each drawing its
+own noisy sample.
 """
 
 from __future__ import annotations
@@ -36,8 +48,13 @@ import numpy as np
 
 from repro.embedding.base import QueryEmbedder as _BaseEmbedder
 from repro.runtime.cache import EmbeddingCache
+from repro.runtime.columnar import ColumnarBatch
 from repro.runtime.metrics import RuntimeMetrics
-from repro.sql.normalizer import template_fingerprint
+from repro.sql.normalizer import (
+    fingerprint_cache_stats,
+    intern_fingerprints,
+    template_fingerprint_ids,
+)
 
 if TYPE_CHECKING:  # avoid an import cycle with repro.core
     from repro.core.classifier import QueryClassifier
@@ -82,22 +99,44 @@ class InferencePipeline:
         batch: "Sequence[LabeledQuery]",
         classifiers: "Sequence[QueryClassifier]",
     ) -> "list[LabeledQuery]":
-        """Label a batch with every classifier, embedding each distinct
-        embedder exactly once over the batch's unique templates."""
+        """Label a batch with every classifier; per-query messages out.
+
+        Object-boundary wrapper over :meth:`run_columnar` for callers
+        that want ``list[LabeledQuery]`` directly.
+        """
         if not batch:
             return []
         if not classifiers:  # no inference happened; don't skew metrics
             return list(batch)
+        columnar = self.run_columnar(batch, classifiers)
+        with self.metrics.stage("scatter"):
+            return columnar.to_messages()
+
+    def run_columnar(
+        self,
+        batch: "Sequence[LabeledQuery]",
+        classifiers: "Sequence[QueryClassifier]",
+    ) -> ColumnarBatch:
+        """Label a batch with every classifier, columnar end-to-end.
+
+        Embeds each distinct embedder exactly once over the batch's
+        unique templates and predicts once per template per classifier;
+        the returned :class:`~repro.runtime.columnar.ColumnarBatch`
+        carries label columns as arrays and materializes messages only
+        when (and if) ``to_messages()`` is called.
+        """
+        columnar = ColumnarBatch(batch)
+        if not batch or not classifiers:
+            return columnar
         m = self.metrics
         m.add(batches=1, queries=len(batch))
-        queries = [message.query for message in batch]
+        queries = columnar.queries
 
         groups: dict[int, list[QueryClassifier]] = {}
         for classifier in classifiers:
             groups.setdefault(id(classifier.embedder), []).append(classifier)
 
-        label_rows: list[dict] = [{} for _ in batch]
-        default_fps: list[str] | None = None  # shared across default-hook groups
+        default_ids: np.ndarray | None = None  # shared across default-hook groups
         # batch template count for metrics: prefer the canonical
         # (default-fingerprint) view over any custom scheme
         default_unique: int | None = None
@@ -107,37 +146,34 @@ class InferencePipeline:
             name = self._cache_name(embedder, group[0].embedder_name)
             is_default = _uses_default_fingerprints(embedder)
             if is_default:
-                if default_fps is None:
-                    with m.stage("fingerprint"):
-                        default_fps = [template_fingerprint(q) for q in queries]
-                fps = default_fps
+                if default_ids is None:
+                    default_ids = self._fingerprint_ids(embedder, queries)
+                ids = default_ids
             else:
-                fps = self._fingerprint(embedder, queries)
-            representatives, unique_fps, inverse = self._collapse(queries, fps)
+                ids = self._fingerprint_ids(embedder, queries)
+            unique_ids, first_idx, inverse = self._collapse_ids(ids)
             if is_default and default_unique is None:
-                default_unique = len(representatives)
+                default_unique = len(unique_ids)
             if first_unique is None:
-                first_unique = len(representatives)
+                first_unique = len(unique_ids)
             unique_vectors = self._embed_unique(
-                embedder, name, representatives, unique_fps
+                embedder, name, queries, unique_ids, first_idx
             )
-            with m.stage("scatter"):
-                vectors = unique_vectors[inverse]
             with m.stage("predict"):
                 for classifier in group:
-                    predictions = classifier.predict_vectors(vectors)
-                    for row, label in zip(label_rows, predictions):
-                        row[classifier.label_name] = label
+                    predictions = classifier.predict_vectors(unique_vectors)
+                    template_values = np.empty(len(unique_ids), dtype=object)
+                    for j, value in enumerate(predictions):
+                        template_values[j] = value
+                    columnar.add_column(
+                        classifier.label_name, template_values, inverse
+                    )
         m.add(
             unique_templates=(
                 default_unique if default_unique is not None else (first_unique or 0)
             )
         )
-        with m.stage("scatter"):
-            return [
-                message.with_labels(**row)
-                for message, row in zip(batch, label_rows)
-            ]
+        return columnar
 
     # -- raw embedding (the apps / offline path) ----------------------------------
 
@@ -155,109 +191,119 @@ class InferencePipeline:
         if len(queries) == 0:
             return np.zeros((0, embedder.dimension), dtype=np.float64)
         m = self.metrics
-        fps = self._fingerprint(embedder, list(queries))
-        representatives, unique_fps, inverse = self._collapse(list(queries), fps)
+        queries = list(queries)
+        ids = self._fingerprint_ids(embedder, queries)
+        unique_ids, first_idx, inverse = self._collapse_ids(ids)
         m.add(
             batches=1,
             queries=len(queries),
-            unique_templates=len(representatives),
+            unique_templates=len(unique_ids),
         )
         name = self._cache_name(embedder, embedder_name)
         unique_vectors = self._embed_unique(
-            embedder, name, representatives, unique_fps
+            embedder, name, queries, unique_ids, first_idx
         )
         with m.stage("scatter"):
             return unique_vectors[inverse]
 
     def snapshot(self) -> dict:
-        """Metrics plus cache state, for ``QuercService.stats()``."""
-        return {**self.metrics.snapshot(), "cache": self.cache.snapshot()}
+        """Metrics plus cache and fingerprint-table state, for
+        ``QuercService.stats()``."""
+        return {
+            **self.metrics.snapshot(),
+            "cache": self.cache.snapshot(),
+            "fingerprints": fingerprint_cache_stats(),
+        }
 
     # -- internals ----------------------------------------------------------------
 
-    def _fingerprint(
+    def _fingerprint_ids(
         self, embedder: "QueryEmbedder", queries: list[str]
-    ) -> list[str]:
-        """Per-query cache keys for this embedder.
+    ) -> np.ndarray:
+        """Dense template ids per query for this embedder.
 
-        Uses the embedder's own ``fingerprints`` hook when present, so
-        an embedder with custom tokenization keys the cache on exactly
-        what its ``transform`` will consume.
-        """
-        with self.metrics.stage("fingerprint"):
-            hook = getattr(embedder, "fingerprints", None)
-            if hook is not None:
-                return hook(queries)
-            return [template_fingerprint(q) for q in queries]
-
-    def _collapse(
-        self, queries: list[str], fps: list[str]
-    ) -> tuple[list[str], list[str], np.ndarray]:
-        """Collapse a fingerprinted batch to its distinct templates.
-
-        Returns (representative queries, unique fingerprints, inverse)
-        where ``representatives[inverse[i]]`` stands in for
-        ``queries[i]``.
+        The default contract goes through the process-wide fingerprint
+        memo (and feeds its hit counters into this runtime's metrics).
+        An embedder with a custom ``fingerprints`` hook keys the cache
+        on exactly what its ``transform`` will consume; its fingerprint
+        strings are interned into the same id space. Ids of ``-1``
+        (intern table full) are rewritten to batch-local negative ids,
+        consistent within the batch but never cached across batches.
         """
         m = self.metrics
-        with m.stage("dedup"):
-            index_of: dict[str, int] = {}
-            representatives: list[str] = []
-            unique_fps: list[str] = []
-            inverse = np.empty(len(queries), dtype=np.intp)
-            for i, (query, fp) in enumerate(zip(queries, fps)):
-                j = index_of.get(fp)
-                if j is None:
-                    j = index_of[fp] = len(representatives)
-                    representatives.append(query)
-                    unique_fps.append(fp)
-                inverse[i] = j
-        return representatives, unique_fps, inverse
+        with m.stage("fingerprint"):
+            hook = getattr(embedder, "fingerprints", None)
+            if hook is not None and not _uses_default_fingerprints(embedder):
+                fps = hook(queries)
+                ids = intern_fingerprints(fps)
+                overflow = int((ids < 0).sum())
+                if overflow:
+                    m.add(intern_overflow=overflow)
+                    ids = _localize_overflow(ids, fps)
+            else:
+                ids, fps, memo_hits, memo_misses = template_fingerprint_ids(
+                    queries
+                )
+                overflow = int((ids < 0).sum())
+                m.add(
+                    fingerprint_memo_hits=memo_hits,
+                    fingerprint_memo_misses=memo_misses,
+                    intern_overflow=overflow,
+                )
+                if overflow:
+                    ids = _localize_overflow(ids, fps)
+        return ids
+
+    def _collapse_ids(
+        self, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Collapse a fingerprinted batch to its distinct templates.
+
+        Returns ``(unique_ids, first_idx, inverse)`` — one ``np.unique``
+        over the id array; ``queries[first_idx[j]]`` is the (first-
+        occurrence) representative text of template ``j`` and
+        ``unique[inverse[i]]`` stands in for query ``i``.
+        """
+        with self.metrics.stage("dedup"):
+            return np.unique(ids, return_index=True, return_inverse=True)
 
     def _embed_unique(
         self,
         embedder: "QueryEmbedder",
         name: str | None,
-        representatives: list[str],
-        unique_fps: list[str],
+        queries: list[str],
+        unique_ids: np.ndarray,
+        first_idx: np.ndarray,
     ) -> np.ndarray:
-        """Vectors for the unique templates: cache first, then **one**
-        ``transform`` call covering exactly the misses. ``name=None``
-        (uncacheable embedder) still dedups but skips the cache."""
+        """Vectors for the unique templates: one vectorized cache probe,
+        then **one** ``transform`` call covering exactly the misses.
+        ``name=None`` (uncacheable embedder) still dedups but skips the
+        cache; negative (batch-local) ids always miss it."""
         m = self.metrics
+        k = len(unique_ids)
         if name is None:
             with m.stage("embed"):
+                representatives = [queries[i] for i in first_idx]
                 fresh = np.asarray(
                     embedder.transform(representatives), dtype=np.float64
                 )
-                m.add(transform_calls=1, embedded_templates=len(representatives))
+                m.add(transform_calls=1, embedded_templates=k)
             return fresh
         with m.stage("embed"):
-            vectors = np.empty(
-                (len(representatives), embedder.dimension), dtype=np.float64
+            vectors, miss = self.cache.get_matrix(
+                name, unique_ids, embedder.dimension
             )
-            # one lock acquisition for the whole batch, not one per
-            # fingerprint — under concurrent lanes the cache lock is
-            # the one piece of shared state every worker touches
-            cached = self.cache.get_many(name, unique_fps)
-            missing: list[int] = []
-            for i, hit in enumerate(cached):
-                if hit is None:
-                    missing.append(i)
-                else:
-                    vectors[i] = hit
-            m.add(
-                cache_hits=len(unique_fps) - len(missing),
-                cache_misses=len(missing),
-            )
-            if missing:
-                fresh = embedder.transform([representatives[i] for i in missing])
-                m.add(transform_calls=1, embedded_templates=len(missing))
-                for i, row in zip(missing, fresh):
-                    vectors[i] = row
-                self.cache.put_many(
-                    name, [(unique_fps[i], row) for i, row in zip(missing, fresh)]
+            n_miss = int(miss.sum())
+            m.add(cache_hits=k - n_miss, cache_misses=n_miss)
+            if n_miss:
+                miss_idx = np.flatnonzero(miss)
+                representatives = [queries[first_idx[i]] for i in miss_idx]
+                fresh = np.asarray(
+                    embedder.transform(representatives), dtype=np.float64
                 )
+                m.add(transform_calls=1, embedded_templates=n_miss)
+                vectors[miss_idx] = fresh
+                self.cache.put_matrix(name, unique_ids[miss_idx], fresh)
         return vectors
 
     def _cache_name(
@@ -286,6 +332,24 @@ class InferencePipeline:
                 known = f"{base}~{next(_NAMESPACE_SERIAL)}"
                 self._names[embedder] = known
         return f"{known}|g{generation}"
+
+
+def _localize_overflow(ids: np.ndarray, fps: list[str]) -> np.ndarray:
+    """Rewrite -1 ids ("no intern slot") to batch-local negative ids.
+
+    Equal fingerprints get equal local ids, so dedup within the batch
+    still collapses them; the ids stay negative, so the matrix cache
+    treats them as always-miss and never stores them.
+    """
+    ids = ids.copy()
+    local: dict[str, int] = {}
+    for i in np.flatnonzero(ids < 0):
+        fp = fps[i]
+        fid = local.get(fp)
+        if fid is None:
+            fid = local[fp] = -2 - len(local)
+        ids[i] = fid
+    return ids
 
 
 def _uses_default_fingerprints(embedder) -> bool:

@@ -14,14 +14,39 @@ Two representations are produced from raw SQL:
   stream; two queries with the same fingerprint are guaranteed to feed
   identical token sequences to every embedder, which is what makes the
   runtime layer's embedding cache and batch deduplication sound.
+
+Because fingerprinting sits on the inference hot path (it runs once
+per query per batch), this module also owns two process-wide tables:
+
+* a bounded LRU :class:`FingerprintMemo` from raw SQL text to its
+  template fingerprint — repeated texts (prepared statements, retried
+  queries) skip tokenization entirely;
+* a capped :class:`FingerprintInterner` from fingerprint strings to
+  dense integer ids, so batch dedup and the runtime's vectorized
+  embedding cache can work on contiguous int arrays instead of string
+  dict lookups. When the table is full, new fingerprints get id ``-1``
+  ("no slot") and callers fall back to per-batch, uncached handling —
+  a long-tailed stream can degrade throughput but never memory.
+
+The common case additionally bypasses the character-at-a-time lexer: a
+single compiled regex produces the literal-folded token stream for
+plain ASCII SQL, bailing to the full lexer whenever it sees a
+construct it does not model (comments, quoted identifiers, non-ASCII),
+so the fast path is an optimization, never a semantic fork.
 """
 
 from __future__ import annotations
 
 import hashlib
+import re
+import threading
+from collections import OrderedDict
+from collections.abc import Sequence
+
+import numpy as np
 
 from repro.sql.lexer import tokenize
-from repro.sql.tokens import Token, TokenType
+from repro.sql.tokens import KEYWORDS, Token, TokenType
 
 NUM_PLACEHOLDER = "<NUM>"
 STR_PLACEHOLDER = "<STR>"
@@ -52,7 +77,16 @@ def safe_token_stream(sql: str, fold_literals: bool = True) -> list[str]:
     """Like :func:`token_stream`, but total: lexically broken queries
     degrade to whitespace tokens rather than raising. Querc must embed
     (and fingerprint) anything the log contains, garbage included.
+
+    On the common fold-literals path, plain ASCII SQL is scanned by one
+    compiled regex instead of the character-at-a-time lexer; anything
+    the regex does not fully account for falls back to the lexer, so
+    both paths produce identical streams.
     """
+    if fold_literals:
+        fast = _fast_folded_stream(sql)
+        if fast is not None:
+            return fast
     try:
         return token_stream(sql, fold_literals=fold_literals)
     except Exception:  # noqa: BLE001 - logs contain garbage; stay total
@@ -66,16 +100,6 @@ def fingerprint_token_stream(tokens: list[str]) -> str:
     return hashlib.blake2b(joined.encode("utf-8"), digest_size=16).hexdigest()
 
 
-def template_fingerprint(sql: str) -> str:
-    """Digest identifying the query's literal-folded template.
-
-    Built from :func:`safe_token_stream` — exactly the sequence
-    embedders consume — so equal fingerprints imply equal embedder
-    input. Used as the dedup/cache key on the inference hot path.
-    """
-    return fingerprint_token_stream(safe_token_stream(sql, fold_literals=True))
-
-
 def _render(tok: Token, fold_literals: bool) -> str:
     if tok.type is TokenType.NUMBER:
         return NUM_PLACEHOLDER if fold_literals else tok.value
@@ -86,3 +110,303 @@ def _render(tok: Token, fold_literals: bool) -> str:
     if tok.type is TokenType.IDENTIFIER:
         return tok.value.lower()
     return tok.value
+
+
+# -- fast folded-stream scanner ----------------------------------------------
+
+# Constructs the fast scanner does not model. Their mere *presence*
+# anywhere in the text (even inside a string literal) routes the query
+# to the full lexer — cheaper than proving the occurrence is benign.
+_SLOW_CONSTRUCTS = re.compile(r"--|/\*|[\"`#\[]")
+
+# One alternative per lexical category, ordered exactly like the
+# lexer's dispatch: strings, then parameter markers, then numbers,
+# then words, then multi- before single-char operators, then
+# punctuation. Exactly one group matches per token, so ``lastindex``
+# identifies the category. Any character no alternative claims shows
+# up as a gap between matches and sends the query to the full lexer.
+_FAST_TOKEN = re.compile(
+    r"""
+      (\s+)                                         # 1 whitespace
+    | ('[^']*(?:''[^']*)*')                         # 2 string literal
+    | (\?|\$\d+|%s|:[A-Za-z_][A-Za-z0-9_]*)         # 3 parameter marker
+    | (0[xX][0-9a-fA-F]*
+       |(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)       # 4 number
+    | ([A-Za-z_][A-Za-z0-9_$]*)                     # 5 keyword / identifier
+    | (->>|->|<>|!=|>=|<=|\|\||::|[-+*/%<>=^&|~])   # 6 operator
+    | ([(),.;\]{}])                                 # 7 punctuation
+    """,
+    re.VERBOSE,
+)
+
+_WS, _STR, _PARAM, _NUM, _WORD = 1, 2, 3, 4, 5
+
+
+def _fast_folded_stream(sql: str) -> list[str] | None:
+    """The literal-folded token stream via one regex pass, or None.
+
+    None means "not eligible" (non-ASCII, a construct the regex does
+    not model, or a character outside every category) — the caller
+    must use the full lexer. A non-None result is byte-identical to
+    ``token_stream(sql, fold_literals=True)``.
+    """
+    if not sql.isascii() or _SLOW_CONSTRUCTS.search(sql) is not None:
+        return None
+    out: list[str] = []
+    append = out.append
+    pos = 0
+    for match in _FAST_TOKEN.finditer(sql):
+        if match.start() != pos:
+            return None  # unclaimed character: the full lexer decides
+        pos = match.end()
+        kind = match.lastindex
+        if kind == _WS:
+            continue
+        if kind == _WORD:
+            word = match.group()
+            upper = word.upper()
+            append(upper if upper in KEYWORDS else word.lower())
+        elif kind == _NUM:
+            append(NUM_PLACEHOLDER)
+        elif kind == _STR:
+            append(STR_PLACEHOLDER)
+        elif kind == _PARAM:
+            append(PARAM_PLACEHOLDER)
+        else:
+            append(match.group())
+    if pos != len(sql):
+        return None
+    return out
+
+
+# -- fingerprint memo and interning table ------------------------------------
+
+
+class FingerprintInterner:
+    """Process-wide map from fingerprint strings to dense int ids.
+
+    Ids are assigned first-come in ``[0, capacity)`` and never reused
+    or evicted, so an id is a stable row index for the lifetime of the
+    process — exactly what the runtime's vectorized embedding cache
+    keys its matrix rows on. When the table is full, :meth:`intern`
+    returns ``-1`` ("no slot") and counts the overflow; callers treat
+    such fingerprints as uncacheable and fall back to per-batch
+    handling, so a long tail of one-off templates costs throughput,
+    never unbounded memory.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self.capacity = int(capacity)
+        self.overflow = 0  # intern attempts refused because the table was full
+        self._ids: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def intern(self, fingerprint: str) -> int:
+        """The fingerprint's dense id, or -1 when the table is full."""
+        return int(self.intern_many([fingerprint])[0])
+
+    def intern_many(self, fingerprints: Sequence[str]) -> np.ndarray:
+        """Ids for a batch of fingerprints under one lock acquisition."""
+        ids = np.empty(len(fingerprints), dtype=np.int64)
+        with self._lock:
+            table = self._ids
+            for i, fingerprint in enumerate(fingerprints):
+                fid = table.get(fingerprint)
+                if fid is None:
+                    if len(table) >= self.capacity:
+                        self.overflow += 1
+                        fid = -1
+                    else:
+                        fid = table[fingerprint] = len(table)
+                ids[i] = fid
+        return ids
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ids)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ids.clear()
+            self.overflow = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._ids),
+                "capacity": self.capacity,
+                "overflow": self.overflow,
+            }
+
+
+class FingerprintMemo:
+    """Bounded LRU memo from raw SQL text to (fingerprint, intern id).
+
+    Exact-text repeats (prepared statements, retried queries, template
+    streams) skip tokenization and hashing entirely. Entries carry the
+    interned id alongside the fingerprint so a memo hit resolves both
+    in one dict probe. The memo is LRU-bounded: a long-tailed stream
+    recycles slots instead of growing without limit.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 32768,
+        interner: FingerprintInterner | None = None,
+    ) -> None:
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self._interner = interner if interner is not None else FingerprintInterner()
+        self._entries: OrderedDict[str, tuple[str, int]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def fingerprint(self, sql: str) -> str:
+        """Memoized :func:`template_fingerprint` for one query."""
+        with self._lock:
+            entry = self._entries.get(sql)
+            if entry is not None:
+                self._entries.move_to_end(sql)
+                self.hits += 1
+                return entry[0]
+            self.misses += 1
+        # compute outside the lock: tokenization is the expensive part
+        fp = fingerprint_token_stream(safe_token_stream(sql, fold_literals=True))
+        fid = self._interner.intern(fp)
+        with self._lock:
+            self._entries[sql] = (fp, fid)
+            self._entries.move_to_end(sql)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return fp
+
+    def fingerprint_ids(
+        self, queries: Sequence[str]
+    ) -> tuple[np.ndarray, list[str], int, int]:
+        """Batch lookup: ``(ids, fingerprints, memo_hits, memo_misses)``.
+
+        ``ids[i] == -1`` means the fingerprint holds no intern slot
+        (table full): it is still a valid fingerprint, just uncacheable
+        by id. All hits resolve under one lock acquisition; misses are
+        tokenized outside the lock (duplicate texts within the batch
+        are computed once) and inserted under a second.
+        """
+        n = len(queries)
+        ids = np.empty(n, dtype=np.int64)
+        fps: list[str] = [""] * n
+        missed: list[int] = []
+        with self._lock:
+            entries = self._entries
+            for i, sql in enumerate(queries):
+                entry = entries.get(sql)
+                if entry is None:
+                    missed.append(i)
+                else:
+                    fps[i], ids[i] = entry
+                    entries.move_to_end(sql)
+            self.hits += n - len(missed)
+            self.misses += len(missed)
+        if missed:
+            computed: dict[str, str] = {}
+            for i in missed:
+                sql = queries[i]
+                fp = computed.get(sql)
+                if fp is None:
+                    fp = computed[sql] = fingerprint_token_stream(
+                        safe_token_stream(sql, fold_literals=True)
+                    )
+                fps[i] = fp
+            distinct = list(dict.fromkeys(fps[i] for i in missed))
+            fid_of = dict(
+                zip(distinct, self._interner.intern_many(distinct).tolist())
+            )
+            with self._lock:
+                entries = self._entries
+                for i in missed:
+                    sql = queries[i]
+                    fp = fps[i]
+                    fid = fid_of[fp]
+                    ids[i] = fid
+                    entries[sql] = (fp, fid)
+                    entries.move_to_end(sql)
+                while len(entries) > self.capacity:
+                    entries.popitem(last=False)
+        return ids, fps, n - len(missed), len(missed)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            hits = self.hits
+            misses = self.misses
+            size = len(self._entries)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        }
+
+
+# One memo + interner pair per process: fingerprints are a pure
+# function of the text, so every pipeline/service shares them.
+_INTERNER = FingerprintInterner()
+_MEMO = FingerprintMemo(interner=_INTERNER)
+
+
+def template_fingerprint(sql: str) -> str:
+    """Digest identifying the query's literal-folded template.
+
+    Built from :func:`safe_token_stream` — exactly the sequence
+    embedders consume — so equal fingerprints imply equal embedder
+    input. Used as the dedup/cache key on the inference hot path, and
+    memoized process-wide by exact text (see :class:`FingerprintMemo`).
+    """
+    return _MEMO.fingerprint(sql)
+
+
+def template_fingerprints(queries: Sequence[str]) -> list[str]:
+    """Batch :func:`template_fingerprint` through the process memo."""
+    return _MEMO.fingerprint_ids(list(queries))[1]
+
+
+def template_fingerprint_ids(
+    queries: Sequence[str],
+) -> tuple[np.ndarray, list[str], int, int]:
+    """Batch fingerprints as dense intern ids — the columnar hot path.
+
+    Returns ``(ids, fingerprints, memo_hits, memo_misses)``; see
+    :meth:`FingerprintMemo.fingerprint_ids` for the ``-1`` convention.
+    """
+    return _MEMO.fingerprint_ids(list(queries))
+
+
+def intern_fingerprints(fingerprints: Sequence[str]) -> np.ndarray:
+    """Dense ids for already-computed fingerprints (custom embedder
+    tokenizations); ``-1`` marks fingerprints without an intern slot."""
+    return _INTERNER.intern_many(list(fingerprints))
+
+
+def fingerprint_cache_stats() -> dict:
+    """Occupancy and hit counters of the process-wide tables."""
+    return {"memo": _MEMO.stats(), "interner": _INTERNER.stats()}
+
+
+def reset_fingerprint_caches() -> None:
+    """Drop the process-wide memo and intern table (tests/benchmarks).
+
+    Interned ids are invalidated by this, so any
+    :class:`~repro.runtime.cache.EmbeddingCache` holding id-keyed
+    matrix rows must be dropped with it.
+    """
+    _MEMO.clear()
+    _INTERNER.clear()

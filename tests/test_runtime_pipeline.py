@@ -104,6 +104,57 @@ class TestEmbeddingCache:
         with pytest.raises(ValueError):
             vec[0] = 5.0
 
+    def test_get_many_vectors_are_frozen(self):
+        """Aliasing regression: batch lookups return the same frozen
+        rows as ``get`` — a caller scribbling on a returned vector must
+        raise instead of silently corrupting every future hit."""
+        cache = EmbeddingCache(capacity=8)
+        cache.put_many("e", [("a", np.ones(3)), ("b", np.full(3, 2.0))])
+        got_a, got_b, ghost = cache.get_many("e", ["a", "b", "ghost"])
+        assert ghost is None
+        assert (cache.hits, cache.misses) == (2, 1)
+        for vec in (got_a, got_b):
+            with pytest.raises(ValueError):
+                vec[0] = 99.0
+        assert cache.get("e", "a")[0] == 1.0
+
+    def test_matrix_lane_roundtrip(self):
+        cache = EmbeddingCache(capacity=64)
+        ids = np.array([3, 7, 1], dtype=np.int64)
+        stored = np.arange(6, dtype=np.float64).reshape(3, 2)
+        cache.put_matrix("e", ids, stored)
+        out, miss = cache.get_matrix("e", np.array([1, 3, 5, 7]), dimension=2)
+        assert list(miss) == [False, False, True, False]
+        assert np.array_equal(out[0], stored[2])
+        assert np.array_equal(out[1], stored[0])
+        assert np.array_equal(out[3], stored[1])
+        # returned rows are fresh copies: mutating them can't poison the lane
+        out[1][:] = -1.0
+        again, _ = cache.get_matrix("e", np.array([3]), dimension=2)
+        assert np.array_equal(again[0], stored[0])
+
+    def test_matrix_negative_ids_never_cached(self):
+        """-1 means "no intern slot": such templates always miss and
+        put_matrix drops them instead of storing under a bogus row."""
+        cache = EmbeddingCache(capacity=64)
+        cache.put_matrix("e", np.array([-1, 2]), np.ones((2, 2)))
+        out, miss = cache.get_matrix("e", np.array([-1, 2]), dimension=2)
+        assert list(miss) == [True, False]
+        assert cache.snapshot()["matrix_rows"] == 1
+
+    def test_matrix_lane_eviction_spares_the_writer(self):
+        """Whole-lane LRU: when combined occupancy exceeds capacity the
+        least-recently-used *other* lane goes; the lane just written
+        (this batch's working set) survives."""
+        cache = EmbeddingCache(capacity=4)
+        cache.put_matrix("old", np.arange(3), np.zeros((3, 2)))
+        cache.put_matrix("new", np.arange(3), np.ones((3, 2)))
+        snap = cache.snapshot()
+        assert snap["matrix_lanes"] == 1
+        assert cache.evictions == 3
+        _, miss = cache.get_matrix("new", np.arange(3), dimension=2)
+        assert not miss.any()
+
     def test_bad_capacity_rejected(self):
         with pytest.raises(ServiceError):
             EmbeddingCache(capacity=0)
