@@ -90,6 +90,22 @@ class Backend(abc.ABC):
     def execute(self, queries: Sequence[str]) -> BatchResult:
         """Execute a batch of SQL texts, one outcome per query."""
 
+    def execute_templated(
+        self, queries: Sequence[str], template_ids: Sequence[int] | None = None
+    ) -> BatchResult:
+        """Execute a batch whose template identity is already known.
+
+        ``template_ids`` aligns with ``queries``: interned
+        template-fingerprint ids from the labeling pipeline (negative
+        ids are batch-local overflow and carry no cross-batch
+        meaning). Backends with a prepared-execution path (e.g.
+        :class:`~repro.backends.minidb_backend.MiniDBBackend`) use the
+        ids to key their plan cache; the default implementation — and
+        any text-only backend — just ignores them and falls back to
+        :meth:`execute`.
+        """
+        return self.execute(queries)
+
     def load_hint(self) -> dict:
         """Static cost prior for the load-aware routing policies.
 

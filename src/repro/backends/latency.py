@@ -52,12 +52,25 @@ class LatencyProxyBackend(Backend):
         self._slept_seconds = 0.0
 
     def execute(self, queries: Sequence[str]) -> BatchResult:
-        delay = self.per_batch_seconds + self.per_query_seconds * len(queries)
+        self._charge(len(queries))
+        return self._rebadge(self.inner.execute(queries))
+
+    def execute_templated(
+        self, queries: Sequence[str], template_ids: Sequence[int] | None = None
+    ) -> BatchResult:
+        """Template-aware dispatch pays the same wire cost: the delay
+        models the network, not the planning the inner backend skips."""
+        self._charge(len(queries))
+        return self._rebadge(self.inner.execute_templated(queries, template_ids))
+
+    def _charge(self, n_queries: int) -> None:
+        delay = self.per_batch_seconds + self.per_query_seconds * n_queries
         if delay > 0:
             self._sleep(delay)
             with self._lock:
                 self._slept_seconds += delay
-        result = self.inner.execute(queries)
+
+    def _rebadge(self, result: BatchResult) -> BatchResult:
         # outcomes are the inner backend's, re-badged under our name so
         # reports/counters attribute them to the registered binding
         if result.backend != self.name:

@@ -7,6 +7,15 @@ traffic where not every tenant's schema lives on every backend) are
 captured as failed outcomes so one bad query cannot poison its batch;
 ``strict=True`` turns the first failure into a raised
 :class:`~repro.errors.BackendError` instead.
+
+Execution is *prepared* by default: queries plan through the
+database's template plan cache
+(:class:`~repro.minidb.plancache.PlanCache`), keyed by the interned
+template ids the dispatch path hands to :meth:`execute_templated` —
+or resolved here through the process-wide fingerprint memo when a
+caller only has text. Rows are byte-identical to unprepared
+execution; ``prepared=False`` restores per-query planning (the
+benchmark baseline).
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from repro.backends.base import Backend, BatchResult, QueryOutcome
 from repro.errors import BackendError
 from repro.minidb.engine import Database
 from repro.minidb.indexes import IndexConfig
+from repro.sql.normalizer import template_fingerprint_ids
 
 
 class MiniDBBackend(Backend):
@@ -30,20 +40,29 @@ class MiniDBBackend(Backend):
         database: Database,
         config: IndexConfig | None = None,
         strict: bool = False,
+        prepared: bool = True,
     ) -> None:
         super().__init__(name)
         self.database = database
         self.config = config
         self.strict = strict
+        self.prepared = prepared
         self._lock = threading.Lock()
         self._executed = 0
         self._failed = 0
 
     def execute(self, queries: Sequence[str]) -> BatchResult:
+        return self.execute_templated(queries, None)
+
+    def execute_templated(
+        self, queries: Sequence[str], template_ids: Sequence[int] | None = None
+    ) -> BatchResult:
+        queries = list(queries)
+        keys = self._template_keys(queries, template_ids)
         outcomes = (
-            self._execute_strict(list(queries))
+            self._execute_strict(queries, keys)
             if self.strict
-            else self._execute_lenient(queries)
+            else self._execute_lenient(queries, keys)
         )
         ok = sum(1 for o in outcomes if o.ok)
         with self._lock:
@@ -51,13 +70,38 @@ class MiniDBBackend(Backend):
             self._failed += len(outcomes) - ok
         return BatchResult(backend=self.name, outcomes=tuple(outcomes))
 
-    def _execute_lenient(self, queries: Sequence[str]) -> list[QueryOutcome]:
+    def _template_keys(
+        self, queries: list[str], template_ids: Sequence[int] | None
+    ) -> list[object] | None:
+        """Plan-cache keys aligned with ``queries`` (None = unprepared).
+
+        Dispatch-supplied interned ids are used as-is; negative ids
+        (batch-local intern overflow — meaningless across batches)
+        become ``None`` so the engine falls back to the fingerprint
+        string. Text-only calls resolve ids and fingerprints in one
+        vectorized probe of the process-wide memo.
+        """
+        if not self.prepared:
+            return None
+        if template_ids is not None:
+            return [int(i) if i >= 0 else None for i in template_ids]
+        ids, fps, _, _ = template_fingerprint_ids(queries)
+        return [int(i) if i >= 0 else fp for i, fp in zip(ids, fps)]
+
+    def _execute_lenient(
+        self, queries: Sequence[str], keys: list[object] | None
+    ) -> list[QueryOutcome]:
         """Per-query execution; faults become failed outcomes."""
         outcomes: list[QueryOutcome] = []
-        for sql in queries:
+        for i, sql in enumerate(queries):
             start = time.perf_counter()
             try:
-                result = self.database.execute(sql, self.config)
+                if keys is None:
+                    result = self.database.execute(sql, self.config)
+                else:
+                    result = self.database.execute_prepared(
+                        sql, self.config, fingerprint_key=keys[i]
+                    )
             except Exception as exc:  # noqa: BLE001 - engine faults become outcomes
                 outcomes.append(
                     QueryOutcome(
@@ -80,12 +124,19 @@ class MiniDBBackend(Backend):
             )
         return outcomes
 
-    def _execute_strict(self, queries: list[str]) -> list[QueryOutcome]:
+    def _execute_strict(
+        self, queries: list[str], keys: list[object] | None
+    ) -> list[QueryOutcome]:
         """All-or-nothing batch through ``execute_many`` (one shared
         executor); the first engine fault aborts the whole batch."""
         start = time.perf_counter()
         try:
-            results = self.database.execute_many(queries, self.config)
+            if keys is None:
+                results = self.database.execute_many(queries, self.config)
+            else:
+                results = self.database.execute_many_prepared(
+                    queries, self.config, fingerprint_keys=keys
+                )
         except Exception as exc:  # noqa: BLE001 - surface as a backend fault
             raise BackendError(
                 f"backend {self.name!r} failed executing a strict batch "
@@ -112,4 +163,6 @@ class MiniDBBackend(Backend):
             "tables": sorted(self.database.tables),
             "executed": executed,
             "failed": failed,
+            "prepared": self.prepared,
+            "plan_cache": self.database.plan_cache.stats(),
         }

@@ -69,6 +69,27 @@ def _queries_of(messages: "Sequence[LabeledQuery] | ColumnarSlice") -> "list[str
     return [m.query for m in messages]
 
 
+def _merge_segments(segments: list):
+    """Rejoin parked queue segments into one dispatch group.
+
+    Slices of one columnar batch merge back into a single zero-copy
+    slice; anything else (message lists, slices of different batches)
+    flattens to a message list — the only point where a parked slice
+    materializes row objects.
+    """
+    if not segments:
+        return []
+    if len(segments) == 1:
+        return segments[0]
+    if all(isinstance(s, ColumnarSlice) for s in segments) and all(
+        s.batch is segments[0].batch for s in segments[1:]
+    ):
+        return ColumnarSlice(
+            segments[0].batch, np.concatenate([s.indices for s in segments])
+        )
+    return [m for segment in segments for m in segment]
+
+
 class SpillPolicy(str, Enum):
     """What happens to work an admission controller turns away."""
 
@@ -149,7 +170,11 @@ class BackendBinding:
         # the feedback the routing policies consume: EWMA execute
         # latency + admission churn, fed by the router's dispatch path
         self.load_signal = LoadSignal()
-        self._pending: deque[LabeledQuery] = deque()
+        # parked work is stored as *segments* (a ColumnarSlice or a
+        # message list per enqueue), so queue spill keeps the columnar
+        # form — rows materialize only if mixed segments merge
+        self._pending: deque = deque()
+        self._pending_rows = 0
         self._queue_capacity = queue_capacity
         self._pending_lock = threading.Lock()
 
@@ -159,25 +184,50 @@ class BackendBinding:
 
     # -- pending queue (QUEUE spill policy) ---------------------------------------
 
-    def enqueue(self, messages: "Sequence[LabeledQuery]") -> tuple[int, int]:
-        """Park messages for later; returns (queued, overflowed)."""
+    def enqueue(
+        self, messages: "Sequence[LabeledQuery] | ColumnarSlice"
+    ) -> tuple[int, int]:
+        """Park messages for later; returns (queued, overflowed).
+
+        The room-limited head is parked as one segment — slicing a
+        :class:`~repro.runtime.columnar.ColumnarSlice` yields another
+        slice, so columnar overflow parks without materializing rows.
+        """
         with self._pending_lock:
-            room = self._queue_capacity - len(self._pending)
+            room = self._queue_capacity - self._pending_rows
             take = max(0, min(room, len(messages)))
-            self._pending.extend(messages[:take])
+            if take:
+                self._pending.append(messages[:take])
+                self._pending_rows += take
         return take, len(messages) - take
 
-    def take_pending(self, n: int | None = None) -> "list[LabeledQuery]":
-        """Pop up to ``n`` parked messages (all of them when None)."""
+    def take_pending(
+        self, n: int | None = None
+    ) -> "list[LabeledQuery] | ColumnarSlice":
+        """Pop up to ``n`` parked rows (all of them when None).
+
+        Segments from one columnar batch come back merged as a single
+        slice; heterogeneous runs flatten to a message list.
+        """
         with self._pending_lock:
-            if n is None:
-                n = len(self._pending)
-            return [self._pending.popleft() for _ in range(min(n, len(self._pending)))]
+            if n is None or n > self._pending_rows:
+                n = self._pending_rows
+            segments = []
+            need = n
+            while need > 0:
+                segment = self._pending.popleft()
+                if len(segment) > need:
+                    self._pending.appendleft(segment[need:])
+                    segment = segment[:need]
+                segments.append(segment)
+                need -= len(segment)
+            self._pending_rows -= n
+        return _merge_segments(segments)
 
     @property
     def pending_depth(self) -> int:
         with self._pending_lock:
-            return len(self._pending)
+            return self._pending_rows
 
     def load_view(self) -> CandidateView:
         """This backend's live load, as the routing policies see it.
@@ -824,7 +874,15 @@ class BatchRouter:
             start = time.perf_counter()
             try:
                 with self.metrics.stage("execute"):
-                    result = binding.backend.execute(_queries_of(admitted))
+                    if isinstance(admitted, ColumnarSlice):
+                        # template-aware dispatch: the batch's interned
+                        # ids travel with the texts so prepared-execution
+                        # backends skip re-fingerprinting
+                        result = binding.backend.execute_templated(
+                            admitted.queries(), admitted.fingerprint_ids()
+                        )
+                    else:
+                        result = binding.backend.execute(_queries_of(admitted))
             finally:
                 elapsed = time.perf_counter() - start
                 binding.admission.release(admitted_n)

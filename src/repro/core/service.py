@@ -401,6 +401,9 @@ class QuercService:
         ``backends`` carries per-backend dispatch counters (dispatched,
         admitted, rejected, spilled, queued, executed, latency) plus
         admission-gate state and the load signal the policies rank on;
+        ``plan_cache`` the summed prepared-execution counters (hits,
+        misses, invalidations, literal-sensitive bail-outs) of every
+        backend exposing a plan cache, with the fleet-wide hit rate;
         ``routing`` the policy layer — installed policy, route table,
         candidate sets, per-label placement decisions, and every
         backend's live load view; ``applications`` the per-app
@@ -409,9 +412,11 @@ class QuercService:
         stage-pool occupancy, and overlap; ``tuner`` the batch-size
         tuner's per-application state (both None until used).
         """
+        backends = self.router.snapshot()
         return {
             "runtime": self.runtime.snapshot(),
-            "backends": self.router.snapshot(),
+            "backends": backends,
+            "plan_cache": _aggregate_plan_cache(backends),
             "routing": self.router.routing_snapshot(),
             "executor": self._last_executor_stats,
             "tuner": self._tuner.snapshot() if self._tuner is not None else None,
@@ -445,6 +450,43 @@ class QuercService:
         ]
         self.training.ingest(application, messages)
         return len(messages)
+
+
+def _aggregate_plan_cache(backends_snapshot: dict) -> dict | None:
+    """Fold every backend's ``plan_cache`` stats into one summary.
+
+    Walks each binding's backend snapshot — following ``inner`` links
+    so proxied backends (e.g. a latency proxy over minidb) are counted
+    once through their outermost wrapper — and sums the counters.
+    Returns ``None`` when no registered backend exposes a plan cache.
+    """
+    caches: list[dict] = []
+    for binding in backends_snapshot.values():
+        node = binding.get("backend")
+        while isinstance(node, dict):
+            cache = node.get("plan_cache")
+            if isinstance(cache, dict):
+                caches.append(cache)
+                break
+            node = node.get("inner")
+    if not caches:
+        return None
+    counters = (
+        "size",
+        "capacity",
+        "hits",
+        "misses",
+        "invalidated",
+        "evicted",
+        "uncacheable",
+        "literal_sensitive_templates",
+        "literal_sensitive_skips",
+    )
+    out = {name: sum(c.get(name, 0) for c in caches) for name in counters}
+    total = out["hits"] + out["misses"]
+    out["hit_rate"] = (out["hits"] / total) if total else 0.0
+    out["backends_with_cache"] = len(caches)
+    return out
 
 
 def _to_message(

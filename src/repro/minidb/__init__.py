@@ -19,6 +19,7 @@ stay real.
 from repro.minidb.catalog import Catalog, ColumnMeta, TableMeta
 from repro.minidb.engine import Database, QueryResult
 from repro.minidb.indexes import Index, IndexConfig
+from repro.minidb.plancache import PlanCache
 from repro.minidb.advisor import IndexAdvisor, AdvisorReport
 from repro.minidb.datagen import generate_tpch_database, materialize_log_tables
 
@@ -30,6 +31,7 @@ __all__ = [
     "QueryResult",
     "Index",
     "IndexConfig",
+    "PlanCache",
     "IndexAdvisor",
     "AdvisorReport",
     "generate_tpch_database",

@@ -17,8 +17,11 @@ from repro.minidb.catalog import Catalog
 from repro.minidb.executor import ExecutionStats, Executor
 from repro.minidb.indexes import IndexConfig
 from repro.minidb.optimizer import CostModel
+from repro.minidb.plancache import PlanCache
 from repro.minidb.planner import Planner, PlanNode
 from repro.minidb.storage import Table, days_to_date
+from repro.sql.normalizer import template_fingerprint
+from repro.sql.params import extract_parameters
 from repro.sql.parser import parse_select
 
 
@@ -43,17 +46,28 @@ class Database:
         self,
         catalog: Catalog | None = None,
         cost_model: CostModel | None = None,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         self.catalog = catalog or Catalog()
         self.cost_model = cost_model or CostModel()
         self._tables: dict[str, Table] = {}
+        self._planners: dict[IndexConfig | None, Planner] = {}
+        # explicit None-check: an empty PlanCache is falsy (len == 0)
+        self._plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self._catalog_epoch = 0
 
     # -- data loading -------------------------------------------------------------
 
     def load_table(self, table: Table) -> None:
-        """Register a materialized table and compute its statistics."""
+        """Register a materialized table and compute its statistics.
+
+        Bumps the catalog epoch: prepared plans compiled against the
+        old catalog are invalidated on their next cache lookup.
+        """
         self._tables[table.name] = table
         self.catalog.add_table(table.metadata())
+        self._catalog_epoch += 1
+        self._planners.clear()
 
     def table(self, name: str) -> Table:
         try:
@@ -65,14 +79,32 @@ class Database:
     def tables(self) -> dict[str, Table]:
         return dict(self._tables)
 
+    @property
+    def catalog_epoch(self) -> int:
+        """Monotone counter bumped on every ``load_table``."""
+        return self._catalog_epoch
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        return self._plan_cache
+
     # -- planning and execution -------------------------------------------------------
+
+    def _planner(self, config: IndexConfig | None) -> Planner:
+        """One planner per index config — the planner is stateless over
+        a live catalog reference, so it is shared across queries (and
+        threads) instead of rebuilt per query."""
+        planner = self._planners.get(config)
+        if planner is None:
+            planner = Planner(self.catalog, config, self.cost_model)
+            self._planners[config] = planner
+        return planner
 
     def plan(self, sql: str, config: IndexConfig | None = None) -> PlanNode:
         """What-if planning: produce the plan the optimizer would choose
         under ``config`` without executing anything."""
         stmt = parse_select(sql)
-        planner = Planner(self.catalog, config, self.cost_model)
-        return planner.plan(stmt)
+        return self._planner(config).plan(stmt)
 
     def estimate_cost(self, sql: str, config: IndexConfig | None = None) -> float:
         """Optimizer-estimated cost of ``sql`` under ``config``."""
@@ -94,10 +126,117 @@ class Database:
         executor = Executor(self._tables, self.catalog, self.cost_model)
         return [self._run_one(executor, sql, config) for sql in sqls]
 
+    # -- prepared execution ---------------------------------------------------------
+
+    def prepare(self, sql: str, config: IndexConfig | None = None) -> PlanNode:
+        """Plan ``sql`` through the template plan cache.
+
+        Same contract as :meth:`plan`, but queries sharing a template
+        (same fingerprint, index config and LIMIT values) reuse one
+        cached plan with fresh literals re-bound, subject to the
+        catalog-epoch and literal-sensitivity guards in
+        :class:`~repro.minidb.plancache.PlanCache`. Verified-hot
+        templates skip parsing entirely (the binding is extracted from
+        the text by the template's recipe).
+        """
+        return self._prepared_plan_text(sql, config, None)
+
+    def execute_prepared(
+        self,
+        sql: str,
+        config: IndexConfig | None = None,
+        fingerprint_key: object | None = None,
+    ) -> QueryResult:
+        """Like :meth:`execute`, planning through the plan cache.
+
+        ``fingerprint_key`` is an optional precomputed template key (an
+        interned fingerprint id or fingerprint string) so batch callers
+        don't re-fingerprint; rows are byte-identical to ``execute``.
+        """
+        executor = Executor(self._tables, self.catalog, self.cost_model)
+        return self._run_one_prepared(executor, sql, config, fingerprint_key)
+
+    def execute_many_prepared(
+        self,
+        sqls: list[str],
+        config: IndexConfig | None = None,
+        fingerprint_keys: list[object] | None = None,
+    ) -> list[QueryResult]:
+        """Prepared counterpart of :meth:`execute_many` (all-or-nothing,
+        one shared executor). ``fingerprint_keys`` aligns with ``sqls``;
+        ``None`` entries are fingerprinted on demand."""
+        executor = Executor(self._tables, self.catalog, self.cost_model)
+        if fingerprint_keys is None:
+            fingerprint_keys = [None] * len(sqls)
+        return [
+            self._run_one_prepared(executor, sql, config, key)
+            for sql, key in zip(sqls, fingerprint_keys)
+        ]
+
+    def _prepared_plan_text(
+        self,
+        sql: str,
+        config: IndexConfig | None,
+        fingerprint_key: object | None,
+    ) -> PlanNode:
+        """Plan ``sql`` through the cache, parsing only when needed.
+
+        Verified-hot templates are served by
+        :meth:`~repro.minidb.plancache.PlanCache.try_fast` — binding
+        values extracted straight from the text, no parse; everything
+        else falls through to the parse + :meth:`PlanCache.fetch` path.
+        """
+        if fingerprint_key is None:
+            fingerprint_key = template_fingerprint(sql)
+        plan = self._plan_cache.try_fast(
+            fingerprint_key, config, self._catalog_epoch, sql
+        )
+        if plan is not None:
+            return plan
+        stmt = parse_select(sql)
+        return self._prepared_plan(sql, stmt, config, fingerprint_key)
+
+    def _prepared_plan(
+        self,
+        sql: str,
+        stmt,
+        config: IndexConfig | None,
+        fingerprint_key: object | None = None,
+    ) -> PlanNode:
+        binding = extract_parameters(stmt)
+        planner = self._planner(config)
+        if not binding.rebind_safe:
+            self._plan_cache.note_uncacheable()
+            return planner.plan(stmt)
+        if fingerprint_key is None:
+            fingerprint_key = template_fingerprint(sql)
+        key = (fingerprint_key, config, binding.limits)
+        return self._plan_cache.fetch(
+            key,
+            self._catalog_epoch,
+            stmt,
+            binding,
+            lambda: planner.plan(stmt),
+            sql=sql,
+        )
+
+    def _run_one_prepared(
+        self,
+        executor: Executor,
+        sql: str,
+        config: IndexConfig | None,
+        fingerprint_key: object | None = None,
+    ) -> QueryResult:
+        plan = self._prepared_plan_text(sql, config, fingerprint_key)
+        return self._finish(executor, plan)
+
     def _run_one(
         self, executor: Executor, sql: str, config: IndexConfig | None
     ) -> QueryResult:
         plan = self.plan(sql, config)
+        return self._finish(executor, plan)
+
+    def _finish(self, executor: Executor, plan: PlanNode) -> QueryResult:
         frame, stats = executor.run(plan)
         columns = list(frame.columns)
         rows = _frame_rows(frame)

@@ -1,0 +1,764 @@
+"""Template-keyed plan cache for prepared execution.
+
+Queries that share a template fingerprint parse to identically-shaped
+ASTs, and the planner preserves literal *instances* from the AST into
+plan predicates (``Planner._qualify`` returns literal leaves
+unchanged). Those two facts make prepared execution possible without a
+separate template IR: cache the plan built for a template's first
+binding, remember which literal instances inside it correspond to
+which binding slot, and serve later queries by substituting their
+freshly-parsed literals into a structurally-shared copy of the cached
+plan. Planning (join enumeration, index selection, selectivity
+estimation) is paid once per template instead of once per query — and
+once a template has cleared verification, even *parsing* is skipped:
+the binding values are extracted straight from the query text by the
+template's :class:`~repro.sql.params.FastBindingRecipe` (one regex
+scan) and re-bound into the cached plan, so a hot template pays only
+extraction, re-binding and execution.
+
+Soundness guards, in order of application:
+
+* **Structural key.** ``LIMIT`` folds to a plain int at parse time
+  (not a literal slot), so the cache key includes the statement's
+  limits tuple alongside the fingerprint and index config — plans are
+  never re-bound across different limits.
+* **Catalog epoch.** Every entry records the database's catalog epoch
+  at plan time; ``Database.load_table`` bumps the epoch, so plans
+  built against an older catalog are invalidated on next lookup.
+* **Rebind-unsafe templates** (literals in GROUP BY/ORDER BY or in
+  unaliased select items, where the planner resolves by rendered text
+  — see :func:`repro.sql.params.extract_parameters`) bypass the cache
+  entirely. Scalar/IN/EXISTS subquery bodies are exempt from the
+  unaliased-item rule: their output is consumed positionally, so the
+  rendered names are wiring labels that stay consistent under
+  rebinding (and ``plan_shape`` folds literal values inside them).
+* **Literal-sensitivity.** Selectivity estimates read literal values,
+  so the *chosen plan shape* can genuinely depend on the binding. The
+  first ``verify_bindings`` distinct bindings of each template are
+  planned fresh and their shapes compared against the cached plan's;
+  any divergence marks the template literal-sensitive and it falls
+  back to per-query planning forever. Rows stay byte-identical either
+  way — the guard protects plan *quality* from silently regressing.
+
+The cache is a bounded LRU guarded by one lock; planning happens under
+the lock, which serializes concurrent misses for the same template (a
+feature: no duplicate planning work) and keeps the guard bookkeeping
+race-free.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Callable, Hashable
+
+from repro.sql import ast
+from repro.sql.params import (
+    FastBindingRecipe,
+    ParameterBinding,
+    build_fast_recipe,
+    iter_literal_slots,
+)
+
+from repro.minidb.planner import (
+    AggCompareNode,
+    AggregateNode,
+    AggregateSpec,
+    DerivedNode,
+    DistinctNode,
+    FilterNode,
+    HashJoinNode,
+    IndexNLJoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ProjectedSingle,
+    ScanNode,
+    SemiJoinNode,
+    SortNode,
+    SubqueryInFilterNode,
+)
+
+__all__ = ["PlanCache", "PlanRebinder", "plan_shape"]
+
+
+# ---------------------------------------------------------------------------
+# plan-shape signature
+# ---------------------------------------------------------------------------
+
+
+def plan_shape(plan: PlanNode) -> str:
+    """Structural signature of a plan with literal values folded.
+
+    Two plans share a shape iff they make the same choices — node
+    kinds, scan tables/indexes/covering, join strategies and keys,
+    predicate structure — regardless of the literal constants embedded
+    in their predicates. This is what the literal-sensitivity guard
+    compares across bindings.
+    """
+    parts: list[str] = []
+    _shape(plan, parts)
+    return "|".join(parts)
+
+
+# Plan nodes carry *rendered* expression strings as wiring labels
+# (projection item names, subquery output names, sort-key names). An
+# unaliased literal item inside a subquery — legal to re-bind, see
+# ``repro.sql.params._rebind_safe`` — bakes the literal's value into
+# those labels. The labels stay internally consistent under rebinding
+# (producer and consumer both keep the plan-time string), so for shape
+# comparison literal values inside them are folded like predicate
+# literals. Word-adjacent digits (col2, __agg0, log_12) are left alone.
+_NAME_LITERAL = re.compile(
+    r"(?<![\w.])\d+(?:\.\d+)?(?:[eE][+-]?\d+)?(?![\w.])|'(?:[^']|'')*'"
+)
+
+
+def _fold_name(name: str) -> str:
+    return _NAME_LITERAL.sub("?", name)
+
+
+def _fold_names(names) -> str:
+    return ",".join(_fold_name(n) for n in names)
+
+
+def _shape(node: PlanNode | None, out: list[str]) -> None:
+    if node is None:
+        out.append("-")
+        return
+    if isinstance(node, ScanNode):
+        index = node.index.name if node.index is not None else "-"
+        out.append(
+            f"Scan({node.table} as {node.binding} ix={index}"
+            f" cover={node.covering} seek={_fold(node.seek_predicate)}"
+            f" pred=[{','.join(_fold(p) for p in node.predicates)}]"
+            f" cols={','.join(node.columns)})"
+        )
+        return
+    if isinstance(node, DerivedNode):
+        out.append(f"Derived({node.alias} out={_fold_names(node.output_names)})")
+        _shape(node.child, out)
+        return
+    if isinstance(node, FilterNode):
+        out.append(f"Filter({_fold(node.predicate)})")
+        _shape(node.child, out)
+        for sub in node.scalar_subplans.values():
+            out.append("ScalarSub:")
+            _shape(sub, out)
+        return
+    if isinstance(node, SubqueryInFilterNode):
+        out.append(f"SubqueryIn({_fold(node.expr)} neg={node.negated})")
+        _shape(node.child, out)
+        _shape(node.subplan, out)
+        return
+    if isinstance(node, HashJoinNode):
+        out.append(
+            f"HashJoin({node.join_type}"
+            f" lk={','.join(map(str, node.left_keys))}"
+            f" rk={','.join(map(str, node.right_keys))}"
+            f" res={_fold(node.residual)})"
+        )
+        _shape(node.left, out)
+        _shape(node.right, out)
+        return
+    if isinstance(node, IndexNLJoinNode):
+        index = node.index.name if node.index is not None else "-"
+        out.append(
+            f"IndexNLJoin({node.inner_table} as {node.inner_binding}"
+            f" ix={index} cover={node.covering}"
+            f" ok={','.join(map(str, node.outer_keys))}"
+            f" ik={','.join(map(str, node.inner_keys))}"
+            f" flt=[{','.join(_fold(p) for p in node.inner_filters)}]"
+            f" res={_fold(node.residual)})"
+        )
+        _shape(node.outer, out)
+        return
+    if isinstance(node, SemiJoinNode):
+        rename = ",".join(
+            f"{_fold_name(k)}>{_fold_name(v)}"
+            for k, v in sorted(node.inner_rename.items())
+        )
+        out.append(
+            f"SemiJoin(neg={node.negated}"
+            f" ok={','.join(map(str, node.outer_keys))}"
+            f" ik={_fold_names(node.inner_keys)}"
+            f" res={_fold(node.residual)} ren={rename})"
+        )
+        _shape(node.child, out)
+        _shape(node.inner, out)
+        return
+    if isinstance(node, AggCompareNode):
+        out.append(
+            f"AggCompare(op={node.op} val={_fold_name(node.value_name)}"
+            f" ok={','.join(map(str, node.outer_keys))}"
+            f" ik={_fold_names(node.inner_key_names)}"
+            f" outer={_fold(node.outer_expr)})"
+        )
+        _shape(node.child, out)
+        _shape(node.inner, out)
+        return
+    if isinstance(node, AggregateNode):
+        groups = ",".join(f"{_fold_name(n)}={_fold(e)}" for n, e in node.group_exprs)
+        aggs = ",".join(f"{s.name}={_fold(s.call)}" for s in node.aggregates)
+        out.append(
+            f"Aggregate(g=[{groups}] a=[{aggs}] having={_fold(node.having)})"
+        )
+        _shape(node.child, out)
+        for sub in node.scalar_subplans.values():
+            out.append("ScalarSub:")
+            _shape(sub, out)
+        return
+    if isinstance(node, ProjectNode):
+        items = ",".join(f"{_fold_name(n)}={_fold(e)}" for n, e in node.items)
+        out.append(f"Project([{items}])")
+        _shape(node.child, out)
+        return
+    if isinstance(node, SortNode):
+        keys = ",".join(
+            f"{_fold_name(n)}:{'a' if asc else 'd'}" for n, asc in node.keys
+        )
+        out.append(f"Sort([{keys}])")
+        _shape(node.child, out)
+        return
+    if isinstance(node, LimitNode):
+        out.append(f"Limit({node.limit})")
+        _shape(node.child, out)
+        return
+    if isinstance(node, DistinctNode):
+        out.append("Distinct")
+        _shape(node.child, out)
+        return
+    if isinstance(node, ProjectedSingle):
+        out.append(f"ProjectedSingle(out={_fold_names(node.output_names)})")
+        _shape(node.child, out)
+        return
+    out.append(type(node).__name__)  # future node kinds: shape by name
+    for child in node.children():
+        _shape(child, out)
+
+
+def _fold(expr: ast.Expr | None) -> str:
+    """Render an expression with literal values replaced by ``?``."""
+    if expr is None:
+        return "-"
+    if isinstance(expr, ast.Literal):
+        return "?"
+    if isinstance(expr, (ast.Column, ast.Star)):
+        return str(expr)
+    if isinstance(expr, ast.BinaryOp):
+        return f"({_fold(expr.left)} {expr.op} {_fold(expr.right)})"
+    if isinstance(expr, ast.UnaryOp):
+        return f"({expr.op} {_fold(expr.operand)})"
+    if isinstance(expr, ast.FunctionCall):
+        inner = "*" if expr.star else ", ".join(_fold(a) for a in expr.args)
+        d = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({d}{inner})"
+    if isinstance(expr, ast.CaseExpr):
+        parts = " ".join(
+            f"WHEN {_fold(c)} THEN {_fold(v)}" for c, v in expr.whens
+        )
+        tail = f" ELSE {_fold(expr.default)}" if expr.default is not None else ""
+        return f"CASE {parts}{tail} END"
+    if isinstance(expr, ast.InList):
+        neg = "NOT " if expr.negated else ""
+        items = ", ".join(_fold(i) for i in expr.items)
+        return f"({_fold(expr.expr)} {neg}IN ({items}))"
+    if isinstance(expr, ast.Between):
+        neg = "NOT " if expr.negated else ""
+        return (
+            f"({_fold(expr.expr)} {neg}BETWEEN"
+            f" {_fold(expr.low)} AND {_fold(expr.high)})"
+        )
+    if isinstance(expr, ast.Like):
+        neg = "NOT " if expr.negated else ""
+        return f"({_fold(expr.expr)} {neg}LIKE {_fold(expr.pattern)})"
+    if isinstance(expr, ast.IsNull):
+        neg = "NOT " if expr.negated else ""
+        return f"({_fold(expr.expr)} IS {neg}NULL)"
+    if isinstance(expr, ast.InSubquery):
+        neg = "NOT " if expr.negated else ""
+        return f"({_fold(expr.expr)} {neg}IN <sub>)"
+    # Exists/ScalarSubquery render opaquely; their structure is covered
+    # by the subplans the planner compiled them into.
+    return str(expr)
+
+
+# ---------------------------------------------------------------------------
+# plan re-binding
+# ---------------------------------------------------------------------------
+
+
+class PlanRebinder:
+    """Substitutes a fresh query's literals into a cached template plan.
+
+    Built from the template statement the plan was compiled from: a
+    deterministic literal-slot walk (:func:`iter_literal_slots`) gives
+    each literal instance an ordinal, and — because the planner carried
+    those instances into the plan by identity — rewriting plan
+    expressions by instance identity re-binds exactly the template's
+    slots. Subtrees without slots are shared with the cached plan;
+    ``ScalarSubquery``/``InSubquery``/``Exists`` expression nodes are
+    kept by identity (the executor resolves their subplans through
+    ``id(node)``) with their interior literals re-bound through the
+    subplan side instead.
+    """
+
+    __slots__ = ("_ordinals", "_plan", "_base_slots")
+
+    def __init__(self, stmt: ast.SelectStatement, plan: PlanNode) -> None:
+        self._base_slots = tuple(iter_literal_slots(stmt))
+        self._ordinals = {id(s): i for i, s in enumerate(self._base_slots)}
+        self._plan = plan
+
+    @property
+    def arity(self) -> int:
+        return len(self._base_slots)
+
+    def rebind(self, slots: tuple[ast.Literal, ...]) -> PlanNode:
+        """Plan with the template's i-th literal replaced by ``slots[i]``."""
+        if len(slots) != len(self._base_slots):
+            raise ValueError(
+                f"arity mismatch: plan has {len(self._base_slots)} slots,"
+                f" got {len(slots)}"
+            )
+        if all(new == old for new, old in zip(slots, self._base_slots)):
+            return self._plan
+        repl = {
+            id(old): new
+            for old, new in zip(self._base_slots, slots)
+            if new != old
+        }
+        return _rebind_plan(self._plan, repl)
+
+
+def _rebind_plan(node: PlanNode | None, repl: dict[int, ast.Literal]):
+    if node is None:
+        return None
+    if isinstance(node, ScanNode):
+        preds = _retuple(node.predicates, repl)
+        seek = _rx(node.seek_predicate, repl)
+        if preds is node.predicates and seek is node.seek_predicate:
+            return node
+        return replace(node, predicates=preds, seek_predicate=seek)
+    if isinstance(node, DerivedNode):
+        child = _rebind_plan(node.child, repl)
+        return node if child is node.child else replace(node, child=child)
+    if isinstance(node, FilterNode):
+        child = _rebind_plan(node.child, repl)
+        pred = _rx(node.predicate, repl)
+        subs = _resubplans(node.scalar_subplans, repl)
+        if (
+            child is node.child
+            and pred is node.predicate
+            and subs is node.scalar_subplans
+        ):
+            return node
+        return replace(node, child=child, predicate=pred, scalar_subplans=subs)
+    if isinstance(node, SubqueryInFilterNode):
+        child = _rebind_plan(node.child, repl)
+        expr = _rx(node.expr, repl)
+        sub = _rebind_plan(node.subplan, repl)
+        if child is node.child and expr is node.expr and sub is node.subplan:
+            return node
+        return replace(node, child=child, expr=expr, subplan=sub)
+    if isinstance(node, HashJoinNode):
+        left = _rebind_plan(node.left, repl)
+        right = _rebind_plan(node.right, repl)
+        res = _rx(node.residual, repl)
+        if left is node.left and right is node.right and res is node.residual:
+            return node
+        return replace(node, left=left, right=right, residual=res)
+    if isinstance(node, IndexNLJoinNode):
+        outer = _rebind_plan(node.outer, repl)
+        filters = _retuple(node.inner_filters, repl)
+        res = _rx(node.residual, repl)
+        if (
+            outer is node.outer
+            and filters is node.inner_filters
+            and res is node.residual
+        ):
+            return node
+        return replace(node, outer=outer, inner_filters=filters, residual=res)
+    if isinstance(node, SemiJoinNode):
+        child = _rebind_plan(node.child, repl)
+        inner = _rebind_plan(node.inner, repl)
+        res = _rx(node.residual, repl)
+        if child is node.child and inner is node.inner and res is node.residual:
+            return node
+        return replace(node, child=child, inner=inner, residual=res)
+    if isinstance(node, AggCompareNode):
+        child = _rebind_plan(node.child, repl)
+        inner = _rebind_plan(node.inner, repl)
+        outer_expr = _rx(node.outer_expr, repl)
+        if (
+            child is node.child
+            and inner is node.inner
+            and outer_expr is node.outer_expr
+        ):
+            return node
+        return replace(node, child=child, inner=inner, outer_expr=outer_expr)
+    if isinstance(node, AggregateNode):
+        child = _rebind_plan(node.child, repl)
+        groups = _repairs(node.group_exprs, repl)
+        aggs = _respecs(node.aggregates, repl)
+        having = _rx(node.having, repl)
+        subs = _resubplans(node.scalar_subplans, repl)
+        if (
+            child is node.child
+            and groups is node.group_exprs
+            and aggs is node.aggregates
+            and having is node.having
+            and subs is node.scalar_subplans
+        ):
+            return node
+        return replace(
+            node,
+            child=child,
+            group_exprs=groups,
+            aggregates=aggs,
+            having=having,
+            scalar_subplans=subs,
+        )
+    if isinstance(node, ProjectNode):
+        child = _rebind_plan(node.child, repl)
+        items = _repairs(node.items, repl)
+        if child is node.child and items is node.items:
+            return node
+        return replace(node, child=child, items=items)
+    if isinstance(node, (DistinctNode, SortNode, LimitNode)):
+        child = _rebind_plan(node.child, repl)
+        return node if child is node.child else replace(node, child=child)
+    if isinstance(node, ProjectedSingle):
+        child = _rebind_plan(node.child, repl)
+        if child is node.child:
+            return node
+        rebuilt = ProjectedSingle(child, node.output_names)
+        rebuilt.est_rows, rebuilt.est_cost = node.est_rows, node.est_cost
+        return rebuilt
+    return node  # leaf-like / unknown nodes carry no rebindable literals
+
+
+def _retuple(exprs: tuple, repl: dict[int, ast.Literal]) -> tuple:
+    out = tuple(_rx(e, repl) for e in exprs)
+    return exprs if all(a is b for a, b in zip(out, exprs)) else out
+
+
+def _repairs(pairs: tuple, repl: dict[int, ast.Literal]) -> tuple:
+    out = tuple((name, _rx(e, repl)) for name, e in pairs)
+    changed = any(a[1] is not b[1] for a, b in zip(out, pairs))
+    return out if changed else pairs
+
+
+def _respecs(
+    specs: tuple[AggregateSpec, ...], repl: dict[int, ast.Literal]
+) -> tuple[AggregateSpec, ...]:
+    out = []
+    changed = False
+    for spec in specs:
+        call = _rx(spec.call, repl)
+        if call is spec.call:
+            out.append(spec)
+        else:
+            out.append(AggregateSpec(spec.name, call))
+            changed = True
+    return tuple(out) if changed else specs
+
+
+def _resubplans(
+    subs: dict[int, PlanNode], repl: dict[int, ast.Literal]
+) -> dict[int, PlanNode]:
+    # keys are id()s of subquery nodes in the predicate — _rx keeps those
+    # nodes by identity, so the keys stay valid across a rebind
+    out = {k: _rebind_plan(v, repl) for k, v in subs.items()}
+    changed = any(out[k] is not subs[k] for k in subs)
+    return out if changed else subs
+
+
+def _rx(expr: ast.Expr | None, repl: dict[int, ast.Literal]):
+    """Rewrite an expression substituting literal instances from ``repl``;
+    returns ``expr`` itself when nothing underneath changed."""
+    if expr is None:
+        return None
+    new = repl.get(id(expr))
+    if new is not None:
+        return new
+    if isinstance(expr, (ast.Column, ast.Star, ast.Literal)):
+        return expr
+    if isinstance(expr, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
+        # atomic: the executor keys subplans by id() of these nodes;
+        # literals inside re-bind through the subplan side
+        return expr
+    if isinstance(expr, ast.BinaryOp):
+        left, right = _rx(expr.left, repl), _rx(expr.right, repl)
+        if left is expr.left and right is expr.right:
+            return expr
+        return ast.BinaryOp(expr.op, left, right)
+    if isinstance(expr, ast.UnaryOp):
+        operand = _rx(expr.operand, repl)
+        return expr if operand is expr.operand else ast.UnaryOp(expr.op, operand)
+    if isinstance(expr, ast.FunctionCall):
+        args = tuple(_rx(a, repl) for a in expr.args)
+        if all(a is b for a, b in zip(args, expr.args)):
+            return expr
+        return ast.FunctionCall(expr.name, args, expr.distinct, expr.star)
+    if isinstance(expr, ast.CaseExpr):
+        whens = tuple((_rx(c, repl), _rx(v, repl)) for c, v in expr.whens)
+        default = _rx(expr.default, repl)
+        if default is expr.default and all(
+            a[0] is b[0] and a[1] is b[1] for a, b in zip(whens, expr.whens)
+        ):
+            return expr
+        return ast.CaseExpr(whens, default)
+    if isinstance(expr, ast.InList):
+        inner = _rx(expr.expr, repl)
+        items = tuple(_rx(i, repl) for i in expr.items)
+        if inner is expr.expr and all(a is b for a, b in zip(items, expr.items)):
+            return expr
+        return ast.InList(inner, items, expr.negated)
+    if isinstance(expr, ast.Between):
+        inner = _rx(expr.expr, repl)
+        low, high = _rx(expr.low, repl), _rx(expr.high, repl)
+        if inner is expr.expr and low is expr.low and high is expr.high:
+            return expr
+        return ast.Between(inner, low, high, expr.negated)
+    if isinstance(expr, ast.Like):
+        inner = _rx(expr.expr, repl)
+        pattern = _rx(expr.pattern, repl)
+        if inner is expr.expr and pattern is expr.pattern:
+            return expr
+        return ast.Like(inner, pattern, expr.negated)
+    if isinstance(expr, ast.IsNull):
+        inner = _rx(expr.expr, repl)
+        return expr if inner is expr.expr else ast.IsNull(inner, expr.negated)
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# the cache
+# ---------------------------------------------------------------------------
+
+
+class _Entry:
+    __slots__ = (
+        "plan",
+        "rebinder",
+        "shape",
+        "kinds",
+        "epoch",
+        "seen",
+        "literal_sensitive",
+    )
+
+    def __init__(
+        self,
+        plan: PlanNode,
+        rebinder: PlanRebinder,
+        shape: str,
+        kinds: tuple[str, ...],
+        epoch: int,
+        first: tuple,
+    ) -> None:
+        self.plan = plan
+        self.rebinder = rebinder
+        self.shape = shape
+        self.kinds = kinds
+        self.epoch = epoch
+        self.seen: set[tuple] = {first}  # distinct shape-verified bindings
+        self.literal_sensitive = False
+
+
+class PlanCache:
+    """Bounded, thread-safe LRU of prepared template plans.
+
+    ``fetch`` is the whole protocol: callers hand it the cache key,
+    the current catalog epoch, the query's extracted binding and a
+    ``plan_fresh`` thunk; it returns a plan — cached, re-bound, or
+    freshly planned — applying the invalidation and
+    literal-sensitivity rules documented in the module docstring.
+    """
+
+    def __init__(self, capacity: int = 256, verify_bindings: int = 3) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._verify = max(1, verify_bindings)
+        self._entries: OrderedDict[Hashable, _Entry] = OrderedDict()
+        # (fingerprint_key, config) -> FastBindingRecipe | None; None
+        # records "this template needs the parse path" so it is probed
+        # only once. Keyed coarser than entries (no limits) because the
+        # recipe is a property of the template text, not of the plan.
+        self._recipes: OrderedDict[Hashable, FastBindingRecipe | None] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._invalidated = 0
+        self._evicted = 0
+        self._uncacheable = 0
+        self._sensitive_templates = 0
+        self._sensitive_skips = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def verify_bindings(self) -> int:
+        return self._verify
+
+    def note_uncacheable(self) -> None:
+        """Record a query that bypassed the cache (rebind-unsafe)."""
+        with self._lock:
+            self._uncacheable += 1
+
+    def fetch(
+        self,
+        key: Hashable,
+        epoch: int,
+        stmt: ast.SelectStatement,
+        binding: ParameterBinding,
+        plan_fresh: Callable[[], PlanNode],
+        sql: str | None = None,
+    ) -> PlanNode:
+        """Return a plan for ``stmt``, consulting/maintaining the cache.
+
+        ``key`` must be ``(fingerprint_key, config, limits)``. When
+        ``sql`` is given, the template's parse-free extraction recipe
+        is derived from it on first contact so later texts can take
+        :meth:`try_fast`.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.epoch != epoch:
+                del self._entries[key]
+                self._invalidated += 1
+                entry = None
+
+            if entry is None:
+                plan = plan_fresh()
+                self._misses += 1
+                rebinder = PlanRebinder(stmt, plan)
+                self._entries[key] = _Entry(
+                    plan,
+                    rebinder,
+                    plan_shape(plan),
+                    binding.kinds,
+                    epoch,
+                    binding.values,
+                )
+                self._entries.move_to_end(key)
+                while len(self._entries) > self._capacity:
+                    self._entries.popitem(last=False)
+                    self._evicted += 1
+                if sql is not None:
+                    template_key = key[:2]
+                    if template_key not in self._recipes:
+                        self._recipes[template_key] = build_fast_recipe(
+                            sql, binding
+                        )
+                        while len(self._recipes) > 2 * self._capacity:
+                            self._recipes.popitem(last=False)
+                return plan
+
+            self._entries.move_to_end(key)
+
+            if entry.literal_sensitive:
+                self._sensitive_skips += 1
+                self._misses += 1
+                return plan_fresh()
+
+            if binding.kinds != entry.kinds:
+                # same fingerprint, different literal kinds (e.g. a date
+                # vs a plain string) — don't risk a kind-confused rebind
+                self._misses += 1
+                return plan_fresh()
+
+            if binding.values in entry.seen:
+                self._hits += 1
+                return entry.rebinder.rebind(binding.slots)
+
+            if len(entry.seen) < self._verify:
+                # still verifying: plan fresh and compare shapes
+                plan = plan_fresh()
+                self._misses += 1
+                if plan_shape(plan) != entry.shape:
+                    entry.literal_sensitive = True
+                    self._sensitive_templates += 1
+                else:
+                    entry.seen.add(binding.values)
+                return plan
+
+            self._hits += 1
+            return entry.rebinder.rebind(binding.slots)
+
+    def try_fast(
+        self,
+        fingerprint_key: Hashable,
+        config: Hashable,
+        epoch: int,
+        sql: str,
+    ) -> PlanNode | None:
+        """Serve a verified template without parsing ``sql`` at all.
+
+        Extracts the binding values straight from the text via the
+        template's :class:`~repro.sql.params.FastBindingRecipe` and
+        re-binds the cached plan. Returns None whenever anything at all
+        is unproven — no recipe, odd text, stale epoch, kind drift,
+        literal-sensitive template, or a binding the verification
+        window has not yet cleared — in which case the caller must
+        take the ordinary parse + :meth:`fetch` path. Misses and
+        verification bookkeeping happen there, never here.
+        """
+        template_key = (fingerprint_key, config)
+        with self._lock:
+            recipe = self._recipes.get(template_key)
+        if recipe is None:
+            return None
+        extracted = recipe.extract(sql)
+        if extracted is None:
+            return None
+        values, limits = extracted
+        key = (fingerprint_key, config, limits)
+        with self._lock:
+            entry = self._entries.get(key)
+            if (
+                entry is None
+                or entry.epoch != epoch
+                or entry.literal_sensitive
+                or entry.kinds != recipe.kinds
+            ):
+                return None
+            if values not in entry.seen and len(entry.seen) < self._verify:
+                return None  # still inside the verification window
+            self._entries.move_to_end(key)
+            self._hits += 1
+            slots = tuple(
+                ast.Literal(value, kind)
+                for value, kind in zip(values, entry.kinds)
+            )
+            return entry.rebinder.rebind(slots)
+
+    def invalidate_all(self) -> int:
+        """Drop every entry (e.g. after a manual catalog rewrite)."""
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            self._invalidated += n
+            return n
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "size": len(self._entries),
+                "capacity": self._capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_rate": (self._hits / total) if total else 0.0,
+                "invalidated": self._invalidated,
+                "evicted": self._evicted,
+                "uncacheable": self._uncacheable,
+                "literal_sensitive_templates": self._sensitive_templates,
+                "literal_sensitive_skips": self._sensitive_skips,
+            }

@@ -62,7 +62,13 @@ class ColumnarBatch:
     truthiness like the message list it replaces.
     """
 
-    __slots__ = ("messages", "queries", "columns", "_materialized")
+    __slots__ = (
+        "messages",
+        "queries",
+        "columns",
+        "fingerprint_ids",
+        "_materialized",
+    )
 
     def __init__(
         self,
@@ -74,6 +80,10 @@ class ColumnarBatch:
             queries if queries is not None else [m.query for m in self.messages]
         )
         self.columns: list[LabelColumn] = []
+        # per-query interned template-fingerprint ids (int64, negative
+        # = batch-local overflow id), attached by the pipeline so
+        # dispatch can hand templates to prepared-execution backends
+        self.fingerprint_ids: np.ndarray | None = None
         self._materialized: "list[LabeledQuery] | None" = None
 
     def __len__(self) -> int:
@@ -161,3 +171,9 @@ class ColumnarSlice:
     def queries(self) -> list[str]:
         texts = self.batch.queries
         return [texts[i] for i in self.indices]
+
+    def fingerprint_ids(self) -> np.ndarray | None:
+        """This slice's interned template ids (None when the batch has
+        none, e.g. batches built outside the pipeline)."""
+        ids = self.batch.fingerprint_ids
+        return None if ids is None else ids[self.indices]

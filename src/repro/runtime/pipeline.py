@@ -126,7 +126,12 @@ class InferencePipeline:
         when (and if) ``to_messages()`` is called.
         """
         columnar = ColumnarBatch(batch)
-        if not batch or not classifiers:
+        if not batch:
+            return columnar
+        if not classifiers:
+            columnar.fingerprint_ids = self._default_fingerprint_ids(
+                columnar.queries
+            )
             return columnar
         m = self.metrics
         m.add(batches=1, queries=len(batch))
@@ -173,6 +178,11 @@ class InferencePipeline:
                 default_unique if default_unique is not None else (first_unique or 0)
             )
         )
+        # carry the canonical template ids on the batch: dispatch hands
+        # them to prepared-execution backends instead of re-fingerprinting
+        if default_ids is None:
+            default_ids = self._default_fingerprint_ids(queries)
+        columnar.fingerprint_ids = default_ids
         return columnar
 
     # -- raw embedding (the apps / offline path) ----------------------------------
@@ -231,27 +241,31 @@ class InferencePipeline:
         consistent within the batch but never cached across batches.
         """
         m = self.metrics
-        with m.stage("fingerprint"):
-            hook = getattr(embedder, "fingerprints", None)
-            if hook is not None and not _uses_default_fingerprints(embedder):
+        hook = getattr(embedder, "fingerprints", None)
+        if hook is not None and not _uses_default_fingerprints(embedder):
+            with m.stage("fingerprint"):
                 fps = hook(queries)
                 ids = intern_fingerprints(fps)
                 overflow = int((ids < 0).sum())
                 if overflow:
                     m.add(intern_overflow=overflow)
                     ids = _localize_overflow(ids, fps)
-            else:
-                ids, fps, memo_hits, memo_misses = template_fingerprint_ids(
-                    queries
-                )
-                overflow = int((ids < 0).sum())
-                m.add(
-                    fingerprint_memo_hits=memo_hits,
-                    fingerprint_memo_misses=memo_misses,
-                    intern_overflow=overflow,
-                )
-                if overflow:
-                    ids = _localize_overflow(ids, fps)
+            return ids
+        return self._default_fingerprint_ids(queries)
+
+    def _default_fingerprint_ids(self, queries: list[str]) -> np.ndarray:
+        """Canonical (process-memo) template ids for ``queries``."""
+        m = self.metrics
+        with m.stage("fingerprint"):
+            ids, fps, memo_hits, memo_misses = template_fingerprint_ids(queries)
+            overflow = int((ids < 0).sum())
+            m.add(
+                fingerprint_memo_hits=memo_hits,
+                fingerprint_memo_misses=memo_misses,
+                intern_overflow=overflow,
+            )
+            if overflow:
+                ids = _localize_overflow(ids, fps)
         return ids
 
     def _collapse_ids(

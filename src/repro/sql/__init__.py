@@ -18,6 +18,14 @@ from repro.sql.tokens import Token, TokenType
 from repro.sql.lexer import tokenize
 from repro.sql.normalizer import normalize, templatize, token_stream
 from repro.sql.parser import parse_select
+from repro.sql.params import (
+    FastBindingRecipe,
+    ParameterBinding,
+    bind_parameters,
+    build_fast_recipe,
+    extract_parameters,
+    iter_literal_slots,
+)
 from repro.sql.features import SyntacticFeatureExtractor
 
 __all__ = [
@@ -28,5 +36,11 @@ __all__ = [
     "templatize",
     "token_stream",
     "parse_select",
+    "FastBindingRecipe",
+    "ParameterBinding",
+    "bind_parameters",
+    "build_fast_recipe",
+    "extract_parameters",
+    "iter_literal_slots",
     "SyntacticFeatureExtractor",
 ]

@@ -117,7 +117,10 @@ def _render(tok: Token, fold_literals: bool) -> str:
 # Constructs the fast scanner does not model. Their mere *presence*
 # anywhere in the text (even inside a string literal) routes the query
 # to the full lexer — cheaper than proving the occurrence is benign.
-_SLOW_CONSTRUCTS = re.compile(r"--|/\*|[\"`#\[]")
+# ``""``/```` `` ```` are doubled-quote escapes inside quoted
+# identifiers: the single-regex scanner cannot pair them soundly, so
+# they bail even though simple quoted identifiers are handled below.
+_SLOW_CONSTRUCTS = re.compile(r"/\*|\"\"|``|[#\[]")
 
 # One alternative per lexical category, ordered exactly like the
 # lexer's dispatch: strings, then parameter markers, then numbers,
@@ -125,9 +128,14 @@ _SLOW_CONSTRUCTS = re.compile(r"--|/\*|[\"`#\[]")
 # punctuation. Exactly one group matches per token, so ``lastindex``
 # identifies the category. Any character no alternative claims shows
 # up as a gap between matches and sends the query to the full lexer.
+# ``--`` line comments share the whitespace group (both are skipped);
+# the alternative must precede the operator class so ``--`` is never
+# read as two minus operators. Quoted identifiers are last: nothing
+# else can claim a quote character, and a quote whose mate sits past a
+# newline (or is missing) leaves a gap and bails.
 _FAST_TOKEN = re.compile(
     r"""
-      (\s+)                                         # 1 whitespace
+      (\s+|--[^\n]*)                                # 1 whitespace / line comment
     | ('[^']*(?:''[^']*)*')                         # 2 string literal
     | (\?|\$\d+|%s|:[A-Za-z_][A-Za-z0-9_]*)         # 3 parameter marker
     | (0[xX][0-9a-fA-F]*
@@ -135,11 +143,13 @@ _FAST_TOKEN = re.compile(
     | ([A-Za-z_][A-Za-z0-9_$]*)                     # 5 keyword / identifier
     | (->>|->|<>|!=|>=|<=|\|\||::|[-+*/%<>=^&|~])   # 6 operator
     | ([(),.;\]{}])                                 # 7 punctuation
+    | ("[^"\n]*"|`[^`\n]*`)                         # 8 quoted identifier
     """,
     re.VERBOSE,
 )
 
 _WS, _STR, _PARAM, _NUM, _WORD = 1, 2, 3, 4, 5
+_QUOTED = 8
 
 
 def _fast_folded_stream(sql: str) -> list[str] | None:
@@ -172,11 +182,62 @@ def _fast_folded_stream(sql: str) -> list[str] | None:
             append(STR_PLACEHOLDER)
         elif kind == _PARAM:
             append(PARAM_PLACEHOLDER)
+        elif kind == _QUOTED:
+            # identifier rendering: the quoted text minus its delimiters,
+            # lowercased without a keyword check — same as the lexer
+            append(match.group()[1:-1].lower())
         else:
             append(match.group())
     if pos != len(sql):
         return None
     return out
+
+
+def fast_literal_tokens(
+    sql: str,
+) -> list[tuple[str, str, str | None, str | None]] | None:
+    """The literal tokens of ``sql`` in lexical order, or None.
+
+    Each entry is ``(category, text, prev_word, next_word)`` where
+    category is ``"num"``/``"str"``/``"param"``, ``text`` the raw
+    lexeme, and ``prev_word``/``next_word`` the lowercased bare-word
+    tokens *immediately* adjacent (None when the neighbor is not a
+    word) — enough context to recognize ``DATE '...'``, ``INTERVAL
+    '...' DAY`` and ``LIMIT n`` without parsing. None means the fast
+    scanner cannot fully tokenize the text (same eligibility rules as
+    :func:`_fast_folded_stream`); the caller must parse instead.
+    """
+    if not sql.isascii() or _SLOW_CONSTRUCTS.search(sql) is not None:
+        return None
+    out: list[list] = []
+    prev_word: str | None = None
+    pending: list | None = None  # last literal, awaiting its next_word
+    pos = 0
+    for match in _FAST_TOKEN.finditer(sql):
+        if match.start() != pos:
+            return None
+        pos = match.end()
+        kind = match.lastindex
+        if kind == _WS:
+            continue
+        if kind == _WORD:
+            word = match.group().lower()
+            if pending is not None:
+                pending[3] = word
+                pending = None
+            prev_word = word
+            continue
+        if pending is not None:
+            pending = None
+        if kind == _NUM or kind == _STR or kind == _PARAM:
+            category = "num" if kind == _NUM else ("str" if kind == _STR else "param")
+            record = [category, match.group(), prev_word, None]
+            out.append(record)
+            pending = record
+        prev_word = None
+    if pos != len(sql):
+        return None
+    return [tuple(r) for r in out]
 
 
 # -- fingerprint memo and interning table ------------------------------------

@@ -90,6 +90,13 @@ class TestFastFoldedScanner:
         "select * from t where name like '%promo%' and id = $1",
         "update t set a = a || 'x', b = 0x1F, c = 1.5e-3 where d <> :param",
         "select a->>'k', b::int from t where c != ? and d >= %s",
+        "select a from t -- trailing comment",
+        "select a from t where x = 1 -- no newline at eof",
+        "select a, -- mid\n b from t",
+        'select "Quoted Col" from t',
+        "select `col` from t",
+        'select "WHERE" from "My Table" where x = 1',
+        "select 'he said \"hi\"' from t",
     ]
 
     def test_matches_slow_lexer(self):
@@ -99,13 +106,15 @@ class TestFastFoldedScanner:
             assert fast == token_stream(sql, fold_literals=True), sql
 
     def test_bails_to_none_on_slow_constructs(self):
-        # comments, quoted identifiers and non-ASCII need the full lexer
+        # block comments, doubled-quote escapes and non-ASCII need the
+        # full lexer; unterminated quotes leave a gap and bail too
         for sql in (
-            "select a from t -- trailing comment",
             "select /* hint */ a from t",
-            'select "Quoted Col" from t',
-            "select `col` from t",
+            'select "a""b" from t',
+            "select `a``b` from t",
             "select a from t where s = 'naïve'",
+            'select "broken from t',
+            'select "multi\nline" from t',
         ):
             assert _fast_folded_stream(sql) is None, sql
 
