@@ -13,11 +13,29 @@
   load-aware placement: re-rank a label's candidate backends per batch
   against their live :class:`LoadSignal` (EWMA latency, admission
   rejection rate, in-flight and queue depth) instead of following the
-  static route table.
+  static route table;
+* :class:`RetryPolicy` / :class:`CircuitBreaker`
+  (:mod:`repro.backends.resilience`) — fault tolerance on the dispatch
+  path: bounded retries with deterministic backoff, per-backend
+  circuit breaking, and candidate failover;
+* :class:`FaultInjectingBackend` (:mod:`repro.backends.faults`) — the
+  deterministic chaos harness that proves the above.
 """
 
 from repro.backends.admission import AdmissionController, TokenBucket
 from repro.backends.base import Backend, BatchResult, NullBackend, QueryOutcome
+from repro.backends.faults import (
+    Blackout,
+    FailedOutcomes,
+    FaultInjectingBackend,
+    FaultPlan,
+    FaultSpec,
+    Flap,
+    InjectedFaultError,
+    LatencySpike,
+    RandomFaults,
+    TransientBurst,
+)
 from repro.backends.latency import LatencyProxyBackend
 from repro.backends.minidb_backend import MiniDBBackend
 from repro.backends.policy import (
@@ -29,6 +47,7 @@ from repro.backends.policy import (
     RoutingPolicy,
     StaticLabelPolicy,
 )
+from repro.backends.resilience import BreakerState, CircuitBreaker, RetryPolicy
 from repro.backends.router import (
     BackendBinding,
     BackendCounters,
@@ -48,6 +67,19 @@ __all__ = [
     "QueryOutcome",
     "LatencyProxyBackend",
     "MiniDBBackend",
+    "Blackout",
+    "FailedOutcomes",
+    "FaultInjectingBackend",
+    "FaultPlan",
+    "FaultSpec",
+    "Flap",
+    "InjectedFaultError",
+    "LatencySpike",
+    "RandomFaults",
+    "TransientBurst",
+    "BreakerState",
+    "CircuitBreaker",
+    "RetryPolicy",
     "CandidateView",
     "CostBudgetPolicy",
     "LatencyEwmaPolicy",

@@ -6,6 +6,11 @@ executing work it accepts (in-flight slots) and how fast new work may
 arrive (token bucket). Both limits are optional; an unconfigured
 controller admits everything. The clock is injectable so rate-limit
 behavior is deterministic under test.
+
+Admission is the *capacity* gate; the *health* gate (circuit breakers,
+:mod:`repro.backends.resilience`) runs before it on the dispatch path —
+an open breaker short-circuits a group without consuming slots or
+tokens here.
 """
 
 from __future__ import annotations

@@ -72,6 +72,20 @@ class BatchResult:
         return [o.result for o in self.outcomes if o.ok]
 
 
+def rebadge(result: BatchResult, name: str) -> BatchResult:
+    """Re-attribute a :class:`BatchResult` to ``name``.
+
+    Wrapper backends (latency proxies, fault injectors) delegate to an
+    inner backend but are registered under their own binding; outcomes
+    must carry the wrapper's name so reports and per-backend counters
+    attribute them to the binding that dispatched, not the engine that
+    answered. No-op when the names already match.
+    """
+    if result.backend == name:
+        return result
+    return BatchResult(backend=name, outcomes=result.outcomes)
+
+
 class Backend(abc.ABC):
     """A database that admitted batches execute on.
 

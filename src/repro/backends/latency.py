@@ -19,7 +19,7 @@ import threading
 import time
 from collections.abc import Callable, Sequence
 
-from repro.backends.base import Backend, BatchResult
+from repro.backends.base import Backend, BatchResult, rebadge
 from repro.errors import BackendError
 
 
@@ -73,9 +73,7 @@ class LatencyProxyBackend(Backend):
     def _rebadge(self, result: BatchResult) -> BatchResult:
         # outcomes are the inner backend's, re-badged under our name so
         # reports/counters attribute them to the registered binding
-        if result.backend != self.name:
-            result = BatchResult(backend=self.name, outcomes=result.outcomes)
-        return result
+        return rebadge(result, self.name)
 
     def load_hint(self) -> dict:
         """Publish the configured per-query delay as a latency prior,

@@ -128,7 +128,11 @@ class MiniDBBackend(Backend):
         self, queries: list[str], keys: list[object] | None
     ) -> list[QueryOutcome]:
         """All-or-nothing batch through ``execute_many`` (one shared
-        executor); the first engine fault aborts the whole batch."""
+        executor); the first engine fault aborts the whole batch. The
+        raised :class:`BackendError` names the offending query's index
+        and template key (and carries them as ``query_index`` /
+        ``template_key`` attributes) so operators can attribute the
+        fault without replaying the batch."""
         start = time.perf_counter()
         try:
             if keys is None:
@@ -138,10 +142,24 @@ class MiniDBBackend(Backend):
                     queries, self.config, fingerprint_keys=keys
                 )
         except Exception as exc:  # noqa: BLE001 - surface as a backend fault
-            raise BackendError(
+            index = getattr(exc, "query_index", None)
+            template = (
+                keys[index]
+                if keys is not None and index is not None and index < len(keys)
+                else None
+            )
+            where = (
+                f" at query {index} (template {template!r})"
+                if index is not None
+                else ""
+            )
+            error = BackendError(
                 f"backend {self.name!r} failed executing a strict batch "
-                f"of {len(queries)}: {exc}"
-            ) from exc
+                f"of {len(queries)}{where}: {exc}"
+            )
+            error.query_index = index
+            error.template_key = template
+            raise error from exc
         per_query = (time.perf_counter() - start) / max(1, len(queries))
         return [
             QueryOutcome(

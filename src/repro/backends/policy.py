@@ -123,7 +123,9 @@ class CandidateView:
     ``headroom`` the live admission-gate state (headroom is the free
     fraction of the in-flight bound, None when unbounded); ``pending``
     the spill queue's depth; ``cost_units`` the cumulative execution
-    cost charged to this backend so far.
+    cost charged to this backend so far; ``breaker`` the backend's
+    circuit-breaker state (``"closed"`` when no breaker is configured)
+    — the load-aware policies rank open-circuit backends last.
     """
 
     name: str
@@ -133,11 +135,19 @@ class CandidateView:
     headroom: float | None = None
     pending: int = 0
     cost_units: float = 0.0
+    breaker: str = "closed"
 
     @property
     def depth(self) -> int:
         """Work already committed to this backend (in-flight + parked)."""
         return self.in_flight + self.pending
+
+    @property
+    def breaker_open(self) -> bool:
+        """True when the backend's circuit is open (dispatch would
+        short-circuit to failover). Half-open counts as available: the
+        probe has to come from somewhere."""
+        return self.breaker == "open"
 
     def as_dict(self) -> dict:
         return {
@@ -147,6 +157,7 @@ class CandidateView:
             "headroom": self.headroom,
             "pending": self.pending,
             "cost_units": self.cost_units,
+            "breaker": self.breaker,
         }
 
 
@@ -207,7 +218,9 @@ class LeastLoadedPolicy(RoutingPolicy):
     new arrival would wait behind), breaking ties by rejection rate and
     then name. The classic join-the-shortest-queue stance: it needs no
     latency history, so it adapts instantly to imbalance the moment a
-    gate's in-flight count diverges.
+    gate's in-flight count diverges. Open-circuit backends rank last
+    regardless of depth — an empty queue on a dead backend is not
+    headroom.
     """
 
     name = "least_loaded"
@@ -221,7 +234,8 @@ class LeastLoadedPolicy(RoutingPolicy):
         return [
             v.name
             for v in sorted(
-                candidates, key=lambda v: (v.depth, v.rejection_rate, v.name)
+                candidates,
+                key=lambda v: (v.breaker_open, v.depth, v.rejection_rate, v.name),
             )
         ]
 
@@ -236,7 +250,8 @@ class LatencyEwmaPolicy(RoutingPolicy):
     explored immediately and its first batches price it honestly.
     ``rejection_weight`` inflates a backend's effective latency by its
     smoothed rejection rate, so a fast-but-saturated gate loses to a
-    slightly slower open one.
+    slightly slower open one. Open-circuit backends rank last however
+    fast they once were.
     """
 
     name = "latency_ewma"
@@ -259,7 +274,7 @@ class LatencyEwmaPolicy(RoutingPolicy):
         return [
             v.name
             for v in sorted(
-                candidates, key=lambda v: (self._effective(v), v.name)
+                candidates, key=lambda v: (v.breaker_open, self._effective(v), v.name)
             )
         ]
 
@@ -274,9 +289,11 @@ class CostBudgetPolicy(RoutingPolicy):
     cumulative ``cost_units`` the backend's counters may reach).
     Backends under budget rank first — among them by remaining-budget
     fraction (the fullest wallet first), then name; exhausted and
-    unbudgeted backends follow, ranked by latency. Tempo's stance: the
-    manager owns a spend plan, and load shifts off an engine when its
-    plan is consumed, not when it finally saturates.
+    unbudgeted backends follow, ranked by latency; open-circuit
+    backends last of all (an unspent budget on a dead backend buys
+    nothing). Tempo's stance: the manager owns a spend plan, and load
+    shifts off an engine when its plan is consumed, not when it
+    finally saturates.
     """
 
     name = "cost_budget"
@@ -301,9 +318,9 @@ class CostBudgetPolicy(RoutingPolicy):
             budget = self.budgets.get(view.name)
             if budget is not None and view.cost_units < budget:
                 remaining = 1.0 - view.cost_units / budget
-                return (0, -remaining, view.name)
+                return (view.breaker_open, 0, -remaining, view.name)
             latency = view.latency_ewma if view.latency_ewma is not None else 0.0
-            return (1, latency, view.name)
+            return (view.breaker_open, 1, latency, view.name)
 
         return [v.name for v in sorted(candidates, key=key)]
 

@@ -27,11 +27,24 @@ back to the static chain. When one batch splits across several
 backends, the groups execute in parallel on a shared fan-out pool
 instead of sequentially.
 
+A binding can also carry a :class:`~repro.backends.resilience.RetryPolicy`
+and a :class:`~repro.backends.resilience.CircuitBreaker`. The retry
+policy re-executes a group that raised wholesale (bounded attempts,
+deterministic backoff, optional per-dispatch deadline budget); the
+breaker tracks execute-call health and, once open, short-circuits
+offers *before* the admission gate. In either terminal case — breaker
+open, retries exhausted, deadline expired — the router re-resolves the
+group to a healthy sibling candidate (the fallback spill machinery)
+before surfacing failure. Parked QUEUE work is bounded too: segments
+older than ``queue_max_age_seconds`` or retried more than
+``queue_max_retries`` times are evicted and counted.
+
 Every decision is counted per backend — dispatched, admitted,
-rejected, spilled, executed, per-backend latency — and surfaces in
-``QuercService.stats()``. The per-backend counters are updated in one
-atomic step per offer, so a snapshot taken mid-dispatch always
-satisfies ``dispatched == admitted + rejected + queued + spilled``.
+rejected, spilled, executed, retried, failed-over, per-backend
+latency — and surfaces in ``QuercService.stats()``. The per-backend
+counters are updated in one atomic step per offer, so a snapshot taken
+mid-dispatch always satisfies ``dispatched == admitted + rejected +
+queued + spilled + queue_evicted``.
 """
 
 from __future__ import annotations
@@ -50,6 +63,7 @@ import numpy as np
 from repro.backends.admission import AdmissionController
 from repro.backends.base import Backend, BatchResult
 from repro.backends.policy import CandidateView, LoadSignal, RoutingPolicy
+from repro.backends.resilience import BreakerState, CircuitBreaker, RetryPolicy
 from repro.errors import BackendError
 from repro.runtime.columnar import ColumnarBatch, ColumnarSlice
 from repro.runtime.metrics import RuntimeMetrics
@@ -108,11 +122,21 @@ class BackendCounters:
         "rejected",
         "spilled",
         "queued",
+        # parked QUEUE segments dropped for age / retry exhaustion — a
+        # disposition like the five above, part of the invariant
+        "queue_evicted",
         "executed_ok",
         "failed",
         "rows_returned",
         "cost_units",
         "execute_seconds",
+        # resilience observability (not dispositions): re-executions of
+        # raised groups, groups handed to / received from a sibling on
+        # breaker-open or retry exhaustion, retry budgets that ran out
+        "retries",
+        "failovers_out",
+        "failovers_in",
+        "deadline_expiries",
     )
 
     def __init__(self) -> None:
@@ -145,8 +169,31 @@ class BackendCounters:
         return out
 
 
+class _ParkedSegment:
+    """One enqueued run of QUEUE-spill overflow plus its lifetime data."""
+
+    __slots__ = ("messages", "enqueued_at", "retries")
+
+    def __init__(self, messages, enqueued_at: float, retries: int) -> None:
+        self.messages = messages
+        self.enqueued_at = enqueued_at
+        self.retries = retries
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+
 class BackendBinding:
-    """One registered backend plus its gate, spill policy and queue."""
+    """One registered backend plus its gate, spill policy and queue.
+
+    ``retry`` / ``breaker`` (both optional) make the binding resilient:
+    see :mod:`repro.backends.resilience`. ``queue_max_retries`` bounds
+    how many times one parked QUEUE segment may be re-parked after a
+    failed drain; ``queue_max_age_seconds`` bounds how long it may sit
+    parked at all (measured on ``clock``). Work past either bound is
+    *evicted* — dropped and counted in ``queue_evicted`` — instead of
+    waiting forever on a backend that never drains.
+    """
 
     def __init__(
         self,
@@ -155,6 +202,11 @@ class BackendBinding:
         spill: SpillPolicy = SpillPolicy.REJECT,
         fallback: str | None = None,
         queue_capacity: int = 256,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        queue_max_retries: int | None = None,
+        queue_max_age_seconds: float | None = None,
+        clock=time.monotonic,
     ) -> None:
         if spill is SpillPolicy.FALLBACK and not fallback:
             raise BackendError(
@@ -162,10 +214,19 @@ class BackendBinding:
             )
         if queue_capacity < 0:
             raise BackendError("queue_capacity must be >= 0")
+        if queue_max_retries is not None and queue_max_retries < 0:
+            raise BackendError("queue_max_retries must be >= 0")
+        if queue_max_age_seconds is not None and queue_max_age_seconds <= 0:
+            raise BackendError("queue_max_age_seconds must be positive")
         self.backend = backend
         self.admission = admission
         self.spill = spill
         self.fallback = fallback
+        self.retry = retry
+        self.breaker = breaker
+        self.queue_max_retries = queue_max_retries
+        self.queue_max_age_seconds = queue_max_age_seconds
+        self.clock = clock
         self.counters = BackendCounters()
         # the feedback the routing policies consume: EWMA execute
         # latency + admission churn, fed by the router's dispatch path
@@ -173,7 +234,7 @@ class BackendBinding:
         # parked work is stored as *segments* (a ColumnarSlice or a
         # message list per enqueue), so queue spill keeps the columnar
         # form — rows materialize only if mixed segments merge
-        self._pending: deque = deque()
+        self._pending: deque[_ParkedSegment] = deque()
         self._pending_rows = 0
         self._queue_capacity = queue_capacity
         self._pending_lock = threading.Lock()
@@ -185,19 +246,23 @@ class BackendBinding:
     # -- pending queue (QUEUE spill policy) ---------------------------------------
 
     def enqueue(
-        self, messages: "Sequence[LabeledQuery] | ColumnarSlice"
+        self, messages: "Sequence[LabeledQuery] | ColumnarSlice", retries: int = 0
     ) -> tuple[int, int]:
         """Park messages for later; returns (queued, overflowed).
 
         The room-limited head is parked as one segment — slicing a
         :class:`~repro.runtime.columnar.ColumnarSlice` yields another
         slice, so columnar overflow parks without materializing rows.
+        ``retries`` carries how many failed drains this work has
+        already been through (the eviction bound's odometer).
         """
         with self._pending_lock:
             room = self._queue_capacity - self._pending_rows
             take = max(0, min(room, len(messages)))
             if take:
-                self._pending.append(messages[:take])
+                self._pending.append(
+                    _ParkedSegment(messages[:take], self.clock(), retries)
+                )
                 self._pending_rows += take
         return take, len(messages) - take
 
@@ -207,22 +272,60 @@ class BackendBinding:
         """Pop up to ``n`` parked rows (all of them when None).
 
         Segments from one columnar batch come back merged as a single
-        slice; heterogeneous runs flatten to a message list.
+        slice; heterogeneous runs flatten to a message list. Age
+        eviction does **not** run here — this is the raw drain the
+        router wraps with :meth:`take_for_drain`.
         """
+        messages, _retries, _evicted = self._take(n, evict=False)
+        return messages
+
+    def take_for_drain(self):
+        """Pop every parked row, evicting out-of-date segments.
+
+        Returns ``(messages, retries, evicted)``: the live rows merged
+        into one group, the highest retry count among them (so the
+        router's re-park bumps the right odometer), and how many rows
+        aged out (``queue_max_age_seconds``) and were dropped.
+        """
+        return self._take(None, evict=True)
+
+    def _take(self, n: int | None, evict: bool):
+        max_age = self.queue_max_age_seconds
+        now = self.clock() if (evict and max_age is not None) else 0.0
         with self._pending_lock:
             if n is None or n > self._pending_rows:
                 n = self._pending_rows
             segments = []
+            retries = 0
+            evicted = 0
             need = n
-            while need > 0:
-                segment = self._pending.popleft()
-                if len(segment) > need:
-                    self._pending.appendleft(segment[need:])
-                    segment = segment[:need]
-                segments.append(segment)
-                need -= len(segment)
-            self._pending_rows -= n
-        return _merge_segments(segments)
+            # evicted segments free their rows without consuming the
+            # caller's budget, so the deque can run dry before need does
+            while need > 0 and self._pending:
+                parked = self._pending.popleft()
+                self._pending_rows -= len(parked)
+                if (
+                    evict
+                    and max_age is not None
+                    and now - parked.enqueued_at > max_age
+                ):
+                    # aged out while parked: drop the whole segment
+                    # without consuming the caller's row budget
+                    evicted += len(parked)
+                    continue
+                if len(parked) > need:
+                    keep = _ParkedSegment(
+                        parked.messages[need:], parked.enqueued_at, parked.retries
+                    )
+                    self._pending.appendleft(keep)
+                    self._pending_rows += len(keep)
+                    parked = _ParkedSegment(
+                        parked.messages[:need], parked.enqueued_at, parked.retries
+                    )
+                segments.append(parked.messages)
+                retries = max(retries, parked.retries)
+                need -= len(parked)
+        return _merge_segments(segments), retries, evicted
 
     @property
     def pending_depth(self) -> int:
@@ -248,6 +351,9 @@ class BackendBinding:
             headroom=self.admission.headroom,
             pending=self.pending_depth,
             cost_units=self.counters.value("cost_units"),
+            breaker=(
+                self.breaker.state.value if self.breaker is not None else "closed"
+            ),
         )
 
     def snapshot(self) -> dict:
@@ -259,6 +365,8 @@ class BackendBinding:
             "load": self.load_signal.snapshot(),
             "admission": self.admission.snapshot(),
             "backend": self.backend.snapshot(),
+            "breaker": self.breaker.snapshot() if self.breaker else None,
+            "retry": self.retry.snapshot() if self.retry else None,
         }
 
 
@@ -268,7 +376,14 @@ class RouteDecision:
 
     ``from_queue`` marks a retry of previously parked work;
     ``spilled_from`` names the origin backend when this decision covers
-    overflow handed over by a FALLBACK sibling.
+    overflow handed over by a FALLBACK sibling (or a whole group handed
+    over because the origin's circuit was open — then the origin's
+    decision also carries ``breaker_open``). ``failover_from`` /
+    ``failover_to`` link the two decisions of a *post-execution*
+    failover: the origin admitted and executed the group, every attempt
+    raised, and the sibling re-ran it. ``retries`` counts this
+    decision's re-execution attempts beyond the first;
+    ``deadline_expired`` marks a retry budget that ran out.
     """
 
     backend: str
@@ -280,6 +395,11 @@ class RouteDecision:
     spilled_from: str = ""
     from_queue: bool = False
     result: BatchResult | None = None
+    retries: int = 0
+    failover_to: str = ""
+    failover_from: str = ""
+    breaker_open: bool = False
+    deadline_expired: bool = False
 
 
 @dataclass(frozen=True)
@@ -290,15 +410,20 @@ class DispatchReport:
     exactly once — fallback hand-offs and queue retries are excluded
     from ``offered`` (and retries from the other tallies too), so
     ``offered == admitted + rejected + queued + in-flight-at-fallback``
-    always reconciles with the batch size. The full picture, including
-    retries of previously parked work, is in ``decisions``.
+    always reconciles with the batch size. A post-execution failover
+    decision (``failover_from`` set) is likewise excluded: its messages
+    were already admitted at the origin, the sibling pass is recovery,
+    not new work. The full picture, including retries of previously
+    parked work, is in ``decisions``.
     """
 
     application: str
     decisions: tuple[RouteDecision, ...] = ()
 
     def _batch_decisions(self) -> "list[RouteDecision]":
-        return [d for d in self.decisions if not d.from_queue]
+        return [
+            d for d in self.decisions if not d.from_queue and not d.failover_from
+        ]
 
     @property
     def offered(self) -> int:
@@ -324,6 +449,22 @@ class DispatchReport:
         """Successful executions across every decision, retries included."""
         return sum(d.result.ok_count for d in self.decisions if d.result)
 
+    @property
+    def retries(self) -> int:
+        """Execute re-attempts across every decision (resilience signal
+        for the tuner's feedback hook)."""
+        return sum(d.retries for d in self.decisions)
+
+    @property
+    def failovers(self) -> int:
+        """Groups this batch handed to a sibling — breaker-open
+        hand-offs and post-execution failovers both count."""
+        return sum(
+            1
+            for d in self.decisions
+            if d.failover_to or (d.breaker_open and d.spilled_to)
+        )
+
     def results(self) -> list[BatchResult]:
         """Per-backend batch results, in dispatch order (retries included)."""
         return [d.result for d in self.decisions if d.result is not None]
@@ -346,8 +487,19 @@ class BackendRegistry:
         fallback: str | None = None,
         queue_capacity: int = 256,
         clock=time.monotonic,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        queue_max_retries: int | None = None,
+        queue_max_age_seconds: float | None = None,
     ) -> BackendBinding:
-        """Bind a backend behind a fresh admission controller."""
+        """Bind a backend behind a fresh admission controller.
+
+        ``retry`` / ``breaker`` opt the binding into the resilience
+        layer (:mod:`repro.backends.resilience`); the queue bounds cap
+        how long / how often QUEUE-spill work may stay parked. All four
+        default to None — an unconfigured binding dispatches exactly as
+        before.
+        """
         binding = BackendBinding(
             backend=backend,
             admission=AdmissionController(
@@ -356,6 +508,11 @@ class BackendRegistry:
             spill=SpillPolicy(spill),
             fallback=fallback,
             queue_capacity=queue_capacity,
+            retry=retry,
+            breaker=breaker,
+            queue_max_retries=queue_max_retries,
+            queue_max_age_seconds=queue_max_age_seconds,
+            clock=clock,
         )
         with self._lock:
             if backend.name in self._bindings:
@@ -803,15 +960,195 @@ class BatchRouter:
             },
         }
 
+    def resilience_snapshot(self) -> dict:
+        """The resilience layer's view, for ``stats()["resilience"]``.
+
+        Totals across backends (retries, failovers, deadline expiries,
+        queue evictions) plus each binding's own counters and its
+        breaker / retry-policy snapshots (None when unconfigured).
+        """
+        keys = (
+            "retries",
+            "failovers_out",
+            "failovers_in",
+            "deadline_expiries",
+            "queue_evicted",
+        )
+        backends: dict[str, dict] = {}
+        totals = {
+            "retries": 0,
+            "failovers": 0,
+            "deadline_expiries": 0,
+            "queue_evicted": 0,
+        }
+        for name in self.registry.names():
+            binding = self.registry.get(name)
+            snap = binding.counters.snapshot()
+            entry = {k: snap[k] for k in keys}
+            entry["breaker"] = binding.breaker.snapshot() if binding.breaker else None
+            entry["retry"] = binding.retry.snapshot() if binding.retry else None
+            backends[name] = entry
+            totals["retries"] += entry["retries"]
+            totals["failovers"] += entry["failovers_out"]
+            totals["deadline_expiries"] += entry["deadline_expiries"]
+            totals["queue_evicted"] += entry["queue_evicted"]
+        return {**totals, "backends": backends}
+
     # -- internals -----------------------------------------------------------------
 
     def _drain_pending(self, binding: BackendBinding) -> list[RouteDecision]:
         if binding.spill is not SpillPolicy.QUEUE or not binding.pending_depth:
             return []
-        parked = binding.take_pending()
+        parked, retries, evicted = binding.take_for_drain()
+        if evicted:
+            # age eviction is a disposition: the rows were dispatched
+            # to the queue once and now leave the system, counted
+            binding.counters.add(dispatched=evicted, queue_evicted=evicted)
+            self.metrics.add(queue_evictions=evicted)
         if not parked:
             return []
-        return self._offer(binding, parked, allow_spill=True, from_queue=True)
+        return self._offer(
+            binding, parked, allow_spill=True, from_queue=True, queue_retries=retries
+        )
+
+    def _bind_breaker(self, breaker: CircuitBreaker) -> None:
+        """Feed breaker transitions into RuntimeMetrics (idempotent)."""
+        if breaker.on_transition is None:
+            breaker.on_transition = self._note_breaker_transition
+
+    def _note_breaker_transition(self, old: str, new: str) -> None:
+        if new == BreakerState.OPEN.value:
+            self.metrics.add(breaker_opens=1)
+        elif new == BreakerState.HALF_OPEN.value:
+            self.metrics.add(breaker_half_opens=1)
+        elif new == BreakerState.CLOSED.value:
+            self.metrics.add(breaker_closes=1)
+
+    def _failover_target(
+        self,
+        binding: BackendBinding,
+        messages: "list[LabeledQuery] | ColumnarSlice",
+    ) -> str | None:
+        """A healthy sibling to take over a group the binding can't run.
+
+        Preference order: the binding's configured fallback, then the
+        routing policy's ranking over the group's label (the label of
+        the group's first message — groups are label-homogeneous except
+        when several labels map to one backend, where any of them is an
+        acceptable re-resolution key), then the static route table,
+        then the remaining registered backends by name. Candidate-set
+        constraints for the label are honored; backends whose own
+        circuit is open are skipped. None when nothing healthy remains.
+        """
+        label = None
+        if len(messages):
+            try:
+                label = messages[0].label(self.route_label)
+            except Exception:
+                label = None
+        with self._lock:
+            names = self._candidates.get(label)
+            mapped = self._routes.get(label)
+            policy = self._policy
+        candidates = list(names) if names is not None else self.registry.names()
+        ordered: list[str] = []
+
+        def push(name: str | None) -> None:
+            if name and name not in ordered:
+                ordered.append(name)
+
+        push(binding.fallback)
+        if policy is not None and candidates:
+            views = [
+                self.registry.get(c).load_view()
+                for c in candidates
+                if c in self.registry
+            ]
+            try:
+                for name in policy.rank(label, views, mapped=mapped):
+                    push(name)
+            except Exception:
+                pass  # a broken policy must not mask the failover path
+        push(mapped)
+        for name in sorted(candidates):
+            push(name)
+        for name in ordered:
+            if name == binding.name or name not in self.registry:
+                continue
+            sibling = self.registry.get(name)
+            if (
+                sibling.breaker is not None
+                and sibling.breaker.state is BreakerState.OPEN
+            ):
+                continue
+            return name
+        return None
+
+    def _execute_with_retry(
+        self,
+        binding: BackendBinding,
+        admitted: "list[LabeledQuery] | ColumnarSlice",
+    ):
+        """Run one admitted group, re-attempting under the retry policy.
+
+        Returns ``(result, retries_used, deadline_expired, error)`` —
+        ``error`` is the last exception when every attempt raised (the
+        caller decides between failover and re-raise). Never raises
+        itself except for non-``Exception`` signals (KeyboardInterrupt
+        and friends propagate). Each attempt feeds the breaker: a raise
+        or an all-failed outcome batch is one recorded failure, a
+        (partly) successful batch one success.
+        """
+        retry = binding.retry
+        breaker = binding.breaker
+        clock = retry.clock if retry is not None else time.monotonic
+        deadline_start = clock()
+        attempt = 1
+        retries_used = 0
+        while True:
+            error: Exception | None = None
+            result: BatchResult | None = None
+            try:
+                with self.metrics.stage("execute"):
+                    if isinstance(admitted, ColumnarSlice):
+                        # template-aware dispatch: the batch's interned
+                        # ids travel with the texts so prepared-execution
+                        # backends skip re-fingerprinting
+                        result = binding.backend.execute_templated(
+                            admitted.queries(), admitted.fingerprint_ids()
+                        )
+                    else:
+                        result = binding.backend.execute(_queries_of(admitted))
+            except Exception as exc:  # noqa: BLE001 - resilience boundary
+                error = exc
+            if error is None:
+                if breaker is not None:
+                    if result.outcomes and result.ok_count == 0:
+                        # the backend "answered" but every outcome
+                        # failed: unhealthy, though not retryable (the
+                        # queries did run)
+                        breaker.record_failure()
+                    else:
+                        breaker.record_success()
+                return result, retries_used, False, None
+            if breaker is not None:
+                breaker.record_failure()
+            if retry is None or attempt >= retry.max_attempts:
+                return None, retries_used, False, error
+            if breaker is not None and breaker.state is BreakerState.OPEN:
+                # our own failures tripped the circuit mid-loop; stop
+                # burning attempts on a backend declared down
+                return None, retries_used, False, error
+            delay = retry.delay(attempt)
+            if (
+                retry.deadline_seconds is not None
+                and (clock() - deadline_start) + delay > retry.deadline_seconds
+            ):
+                return None, retries_used, True, error
+            if delay > 0:
+                retry.sleep(delay)
+            attempt += 1
+            retries_used += 1
 
     def _offer(
         self,
@@ -820,6 +1157,9 @@ class BatchRouter:
         allow_spill: bool,
         from_queue: bool = False,
         spilled_from: str = "",
+        failover_from: str = "",
+        queue_retries: int = 0,
+        allow_failover: bool = True,
     ) -> list[RouteDecision]:
         """Admit what the gate allows, spill the rest, execute.
 
@@ -829,23 +1169,57 @@ class BatchRouter:
         that raises (strict mode) can never silently drop it. The
         dispatch-side counters land in **one** atomic ``add``, so a
         concurrent ``snapshot`` always sees ``dispatched == admitted +
-        rejected + queued + spilled``. Both the admission decision and
-        the measured execute latency feed the binding's
-        :class:`~repro.backends.policy.LoadSignal` — the feedback the
-        load-aware policies rank on.
+        rejected + queued + spilled + queue_evicted``. Both the
+        admission decision and the measured execute latency feed the
+        binding's :class:`~repro.backends.policy.LoadSignal` — the
+        feedback the load-aware policies rank on.
+
+        Resilience hooks, all inert when the binding carries neither a
+        retry policy nor a breaker:
+
+        * an **open breaker** short-circuits before the admission gate
+          — the whole group re-resolves to a healthy sibling through
+          the fallback machinery (counted as spill), or is shed when
+          none exists;
+        * a group whose every execute attempt **raised** (retry
+          exhaustion or deadline expiry) fails over to a sibling as a
+          recovery pass (``failover_from`` decisions, excluded from the
+          report's batch aggregates) — only when no healthy sibling
+          remains does the error surface to the caller;
+        * ``queue_retries`` is the parked-work odometer: overflow
+          re-parked past ``queue_max_retries`` is evicted instead.
         """
         n = len(messages)
+        breaker = binding.breaker
+        if breaker is not None:
+            self._bind_breaker(breaker)
+            if breaker.allow(n) <= 0:
+                return self._short_circuit(
+                    binding, messages, n, allow_failover, from_queue, spilled_from
+                )
         admitted_n = binding.admission.admit(n)
         binding.load_signal.observe_admission(n, admitted_n)
         admitted, overflow = messages[:admitted_n], messages[admitted_n:]
 
-        rejected = queued = spilled = 0
+        rejected = queued = spilled = evicted = 0
         spilled_to = ""
         sibling_decisions: list[RouteDecision] = []
         if overflow:
             policy = binding.spill if allow_spill else SpillPolicy.REJECT
             if policy is SpillPolicy.QUEUE:
-                queued, rejected = binding.enqueue(overflow)
+                park_retries = queue_retries + 1 if from_queue else 0
+                if (
+                    from_queue
+                    and binding.queue_max_retries is not None
+                    and park_retries > binding.queue_max_retries
+                ):
+                    # this work already failed its retry allowance;
+                    # dropping beats parking it forever
+                    evicted = len(overflow)
+                else:
+                    queued, rejected = binding.enqueue(
+                        overflow, retries=park_retries
+                    )
             elif policy is SpillPolicy.FALLBACK:
                 spilled_to = binding.fallback or ""
                 spilled = len(overflow)
@@ -860,42 +1234,81 @@ class BatchRouter:
             rejected=rejected,
             queued=queued,
             spilled=spilled,
+            queue_evicted=evicted,
+            failovers_in=1 if failover_from else 0,
         )
+        if evicted:
+            self.metrics.add(queue_evictions=evicted)
         if spilled_to:
             sibling = self.registry.get(spilled_to)
             # one hop only: the sibling's own overflow is rejected
             sibling_decisions = self._offer(
                 sibling, overflow, allow_spill=False,
+                from_queue=from_queue,
                 spilled_from=binding.name,
+                allow_failover=False,
             )
 
         result: BatchResult | None = None
+        retries_used = 0
+        deadline_expired = False
+        failover_to = ""
+        failover_decisions: list[RouteDecision] = []
         if admitted:
             start = time.perf_counter()
             try:
-                with self.metrics.stage("execute"):
-                    if isinstance(admitted, ColumnarSlice):
-                        # template-aware dispatch: the batch's interned
-                        # ids travel with the texts so prepared-execution
-                        # backends skip re-fingerprinting
-                        result = binding.backend.execute_templated(
-                            admitted.queries(), admitted.fingerprint_ids()
-                        )
-                    else:
-                        result = binding.backend.execute(_queries_of(admitted))
+                result, retries_used, deadline_expired, error = (
+                    self._execute_with_retry(binding, admitted)
+                )
             finally:
                 elapsed = time.perf_counter() - start
                 binding.admission.release(admitted_n)
                 # strict-mode raises still price the backend: the time
                 # was spent whether or not outcomes came back
                 binding.load_signal.observe_execution(admitted_n, elapsed)
-            binding.counters.add(
-                executed_ok=result.ok_count,
-                failed=result.failed_count,
-                rows_returned=result.rows_returned,
-                cost_units=result.cost_units,
-                execute_seconds=elapsed,
-            )
+            if retries_used or deadline_expired:
+                self.metrics.add(
+                    retries=retries_used,
+                    deadline_expiries=1 if deadline_expired else 0,
+                )
+            if error is None:
+                binding.counters.add(
+                    executed_ok=result.ok_count,
+                    failed=result.failed_count,
+                    rows_returned=result.rows_returned,
+                    cost_units=result.cost_units,
+                    execute_seconds=elapsed,
+                    retries=retries_used,
+                )
+            else:
+                resilient = binding.retry is not None or breaker is not None
+                if not resilient:
+                    # the legacy contract: an unconfigured binding
+                    # surfaces backend exceptions untouched
+                    raise error
+                binding.counters.add(
+                    failed=admitted_n,
+                    execute_seconds=elapsed,
+                    retries=retries_used,
+                    deadline_expiries=1 if deadline_expired else 0,
+                )
+                failover_to = (
+                    self._failover_target(binding, admitted)
+                    if allow_failover
+                    else None
+                ) or ""
+                if not failover_to:
+                    raise error
+                binding.counters.add(failovers_out=1)
+                self.metrics.add(failovers=1)
+                failover_decisions = self._offer(
+                    self.registry.get(failover_to),
+                    admitted,
+                    allow_spill=False,
+                    from_queue=from_queue,
+                    failover_from=binding.name,
+                    allow_failover=False,
+                )
         return [
             RouteDecision(
                 backend=binding.name,
@@ -907,6 +1320,69 @@ class BatchRouter:
                 spilled_from=spilled_from,
                 from_queue=from_queue,
                 result=result,
+                retries=retries_used,
+                failover_to=failover_to,
+                failover_from=failover_from,
+                deadline_expired=deadline_expired,
             ),
             *sibling_decisions,
+            *failover_decisions,
+        ]
+
+    def _short_circuit(
+        self,
+        binding: BackendBinding,
+        messages: "list[LabeledQuery] | ColumnarSlice",
+        n: int,
+        allow_failover: bool,
+        from_queue: bool,
+        spilled_from: str,
+    ) -> list[RouteDecision]:
+        """Handle an offer the open breaker refused outright.
+
+        The group never touches the admission gate. With a healthy
+        sibling available the whole group re-resolves there through the
+        fallback machinery (counted as spill at the origin, offered
+        fresh at the sibling); otherwise it is shed and counted as
+        rejected. Either way the origin's gate statistics record a
+        full rejection, so the load-aware policies keep steering away.
+        """
+        binding.load_signal.observe_admission(n, 0)
+        target = self._failover_target(binding, messages) if allow_failover else None
+        if target is not None:
+            binding.counters.add(
+                batches=1, dispatched=n, spilled=n, failovers_out=1
+            )
+            self.metrics.add(failovers=1)
+            sibling_decisions = self._offer(
+                self.registry.get(target),
+                messages,
+                allow_spill=False,
+                from_queue=from_queue,
+                spilled_from=binding.name,
+                allow_failover=False,
+            )
+            return [
+                RouteDecision(
+                    backend=binding.name,
+                    offered=n,
+                    admitted=0,
+                    spilled_to=target,
+                    spilled_from=spilled_from,
+                    from_queue=from_queue,
+                    breaker_open=True,
+                ),
+                *sibling_decisions,
+            ]
+        binding.counters.add(batches=1, dispatched=n, rejected=n)
+        return [
+            RouteDecision(
+                backend=binding.name,
+                offered=n,
+                admitted=0,
+                rejected=n,
+                spilled_from=spilled_from,
+                from_queue=from_queue,
+                breaker_open=True,
+            )
         ]

@@ -139,8 +139,20 @@ class QuercService:
         spill: SpillPolicy | str = SpillPolicy.REJECT,
         fallback: str | None = None,
         queue_capacity: int = 256,
+        retry: "RetryPolicy | None" = None,
+        breaker: "CircuitBreaker | None" = None,
+        queue_max_retries: int | None = None,
+        queue_max_age_seconds: float | None = None,
     ) -> BackendBinding:
-        """Register a database behind per-backend admission control."""
+        """Register a database behind per-backend admission control.
+
+        ``retry`` / ``breaker`` opt the backend into the resilience
+        layer (:mod:`repro.backends.resilience`): bounded re-execution
+        of wholesale failures, circuit breaking, and failover to a
+        healthy sibling. The queue bounds cap parked QUEUE-spill work
+        by retries / age. All default to None (the pre-resilience
+        behavior).
+        """
         return self.backends.register(
             backend,
             max_in_flight=max_in_flight,
@@ -149,6 +161,10 @@ class QuercService:
             spill=spill,
             fallback=fallback,
             queue_capacity=queue_capacity,
+            retry=retry,
+            breaker=breaker,
+            queue_max_retries=queue_max_retries,
+            queue_max_age_seconds=queue_max_age_seconds,
         )
 
     def bind_application(self, application: str, backend_name: str) -> Application:
@@ -333,13 +349,20 @@ class QuercService:
         feedback = None
         if active_tuner is not None:
             # close the admission loop: every dispatch report's
-            # offered/admitted shortfall shrinks that tenant's batches
+            # offered/admitted shortfall shrinks that tenant's batches;
+            # resilience churn (retries, failovers) shrinks them too —
+            # a flaky backend gets cheaper groups to re-run
             def feedback(application: str, result, _tuner=active_tuner):
                 _, report = result
-                if isinstance(report, DispatchReport) and report.offered:
+                if not isinstance(report, DispatchReport):
+                    return
+                if report.offered:
                     _tuner.observe_admission(
                         report.offered, report.admitted, application=application
                     )
+                _tuner.observe_faults(
+                    report.retries, report.failovers, application=application
+                )
 
         executor = StagedExecutor(
             self._stage_label,
@@ -406,8 +429,11 @@ class QuercService:
         backend exposing a plan cache, with the fleet-wide hit rate;
         ``routing`` the policy layer — installed policy, route table,
         candidate sets, per-label placement decisions, and every
-        backend's live load view; ``applications`` the per-app
-        processed counts and bindings; ``executor`` the last staged
+        backend's live load view; ``resilience`` the fault-tolerance
+        layer — fleet totals (retries, failovers, deadline expiries,
+        queue evictions) plus each backend's breaker state machine and
+        retry policy; ``applications`` the per-app processed counts
+        and bindings; ``executor`` the last staged
         (:meth:`process_routed_concurrent`) run's per-lane counters,
         stage-pool occupancy, and overlap; ``tuner`` the batch-size
         tuner's per-application state (both None until used).
@@ -418,6 +444,7 @@ class QuercService:
             "backends": backends,
             "plan_cache": _aggregate_plan_cache(backends),
             "routing": self.router.routing_snapshot(),
+            "resilience": self.router.resilience_snapshot(),
             "executor": self._last_executor_stats,
             "tuner": self._tuner.snapshot() if self._tuner is not None else None,
             "applications": {

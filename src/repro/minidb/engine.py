@@ -122,9 +122,18 @@ class Database:
     ) -> list[QueryResult]:
         """Execute a batch, sharing one executor across the queries —
         all-or-nothing: the first failure aborts the batch (used by
-        strict-mode backends; lenient backends execute per query)."""
+        strict-mode backends; lenient backends execute per query).
+        The aborting exception carries ``query_index`` — the position
+        of the offending query — so callers can attribute the fault."""
         executor = Executor(self._tables, self.catalog, self.cost_model)
-        return [self._run_one(executor, sql, config) for sql in sqls]
+        results: list[QueryResult] = []
+        for i, sql in enumerate(sqls):
+            try:
+                results.append(self._run_one(executor, sql, config))
+            except Exception as exc:
+                exc.query_index = i
+                raise
+        return results
 
     # -- prepared execution ---------------------------------------------------------
 
@@ -164,14 +173,21 @@ class Database:
     ) -> list[QueryResult]:
         """Prepared counterpart of :meth:`execute_many` (all-or-nothing,
         one shared executor). ``fingerprint_keys`` aligns with ``sqls``;
-        ``None`` entries are fingerprinted on demand."""
+        ``None`` entries are fingerprinted on demand. The aborting
+        exception carries ``query_index`` like :meth:`execute_many`."""
         executor = Executor(self._tables, self.catalog, self.cost_model)
         if fingerprint_keys is None:
             fingerprint_keys = [None] * len(sqls)
-        return [
-            self._run_one_prepared(executor, sql, config, key)
-            for sql, key in zip(sqls, fingerprint_keys)
-        ]
+        results: list[QueryResult] = []
+        for i, (sql, key) in enumerate(zip(sqls, fingerprint_keys)):
+            try:
+                results.append(
+                    self._run_one_prepared(executor, sql, config, key)
+                )
+            except Exception as exc:
+                exc.query_index = i
+                raise
+        return results
 
     def _prepared_plan_text(
         self,

@@ -249,9 +249,12 @@ class StagedExecutor:
         self._label_ready: queue.SimpleQueue = queue.SimpleQueue()
         self._dispatch_ready: queue.SimpleQueue = queue.SimpleQueue()
         # accepted-future ledger: submit increments, resolution
-        # decrements; close() drains by waiting for zero
+        # decrements; close() drains by waiting for zero. Worker-death
+        # bookkeeping shares the condition: a dying worker notifies, so
+        # the drain wait needs no poll timeout
         self._drain = threading.Condition()
         self._outstanding = 0
+        self._workers_alive = self.label_workers + self.dispatch_workers
         # pool occupancy (workers currently inside a stage fn)
         self._pool_lock = threading.Lock()
         self._label_active = 0
@@ -383,30 +386,44 @@ class StagedExecutor:
             else:
                 self._dispatch_active -= 1
 
+    def _worker_exit(self) -> None:
+        """Count a worker out (sentinel or death) and wake the drain.
+
+        ``close()`` waits on the drain condition with no timeout; a
+        worker dying with work outstanding must notify, or the drain
+        could wait on a resolution that can no longer happen.
+        """
+        with self._drain:
+            self._workers_alive -= 1
+            self._drain.notify_all()
+
     def _label_loop(self) -> None:
         # the loop shape guarantees a worker survives *anything* a batch
         # throws at it: once (item, future) is popped, the except/finally
         # pair resolves the future and releases the lane no matter what
         # fails inside — stage fn, hooks, even an injected clock
-        while True:
-            lane = self._label_ready.get()
-            if lane is _SENTINEL:
-                return
-            with lane.cond:
-                item, future = lane.ingress.popleft()
-                # ingress slot freed: wake one blocked producer
-                lane.cond.notify()
-            try:
-                self._label_one(lane, item, future)
-            except BaseException as exc:  # noqa: BLE001 - never kill the worker
-                if not future.done():
-                    with lane.cond:
-                        lane.label_errors += 1
-                    self._resolve_future(future, error=exc)
-            finally:
+        try:
+            while True:
+                lane = self._label_ready.get()
+                if lane is _SENTINEL:
+                    return
                 with lane.cond:
-                    lane.label_busy = False
-                    self._maybe_schedule_label(lane)
+                    item, future = lane.ingress.popleft()
+                    # ingress slot freed: wake one blocked producer
+                    lane.cond.notify()
+                try:
+                    self._label_one(lane, item, future)
+                except BaseException as exc:  # noqa: BLE001 - never kill the worker
+                    if not future.done():
+                        with lane.cond:
+                            lane.label_errors += 1
+                        self._resolve_future(future, error=exc)
+                finally:
+                    with lane.cond:
+                        lane.label_busy = False
+                        self._maybe_schedule_label(lane)
+        finally:
+            self._worker_exit()
 
     def _label_one(self, lane: _Lane, item: Any, future: StagedFuture) -> None:
         """Run one batch through stage A and hand it to stage B."""
@@ -449,25 +466,28 @@ class StagedExecutor:
             self._maybe_schedule_dispatch(lane)
 
     def _dispatch_loop(self) -> None:
-        while True:
-            lane = self._dispatch_ready.get()
-            if lane is _SENTINEL:
-                return
-            with lane.cond:
-                staged, future = lane.handoff.popleft()
-                # a hand-off slot freed: stage A may resume this lane
-                self._maybe_schedule_label(lane)
-            try:
-                self._dispatch_one(lane, staged, future)
-            except BaseException as exc:  # noqa: BLE001 - never kill the worker
-                if not future.done():
-                    with lane.cond:
-                        lane.dispatch_errors += 1
-                    self._resolve_future(future, error=exc)
-            finally:
+        try:
+            while True:
+                lane = self._dispatch_ready.get()
+                if lane is _SENTINEL:
+                    return
                 with lane.cond:
-                    lane.dispatch_busy = False
-                    self._maybe_schedule_dispatch(lane)
+                    staged, future = lane.handoff.popleft()
+                    # a hand-off slot freed: stage A may resume this lane
+                    self._maybe_schedule_label(lane)
+                try:
+                    self._dispatch_one(lane, staged, future)
+                except BaseException as exc:  # noqa: BLE001 - never kill the worker
+                    if not future.done():
+                        with lane.cond:
+                            lane.dispatch_errors += 1
+                        self._resolve_future(future, error=exc)
+                finally:
+                    with lane.cond:
+                        lane.dispatch_busy = False
+                        self._maybe_schedule_dispatch(lane)
+        finally:
+            self._worker_exit()
 
     def _dispatch_one(
         self, lane: _Lane, staged: Any, future: StagedFuture
@@ -534,16 +554,14 @@ class StagedExecutor:
                 with lane.cond:
                     lane.closed = True
                     lane.cond.notify_all()
-            workers = self._label_threads + self._dispatch_threads
             with self._drain:
-                while self._outstanding > 0:
-                    # a worker can only die on an uncaught non-stage
-                    # error; if the whole pool is gone, fall through to
-                    # the sweep instead of waiting on a drain that
-                    # cannot happen
-                    if not any(t.is_alive() for t in workers):
-                        break
-                    self._drain.wait(timeout=0.1)
+                # a worker can only die on an uncaught non-stage error;
+                # if the whole pool is gone, fall through to the sweep
+                # instead of waiting on a drain that cannot happen.
+                # Resolutions and worker deaths both notify, so this
+                # wait needs no poll timeout
+                while self._outstanding > 0 and self._workers_alive > 0:
+                    self._drain.wait()
             for _ in self._label_threads:
                 self._label_ready.put(_SENTINEL)
             for _ in self._dispatch_threads:

@@ -43,6 +43,14 @@ class RuntimeMetrics:
     fingerprint_memo_hits: int = 0
     fingerprint_memo_misses: int = 0
     intern_overflow: int = 0  # queries whose template had no intern slot
+    # resilience-layer counters, fed by the router's dispatch path
+    retries: int = 0  # execute re-attempts beyond the first
+    failovers: int = 0  # groups re-resolved to a sibling backend
+    deadline_expiries: int = 0  # retry budgets that ran out
+    queue_evictions: int = 0  # parked rows dropped for age/retries
+    breaker_opens: int = 0
+    breaker_half_opens: int = 0
+    breaker_closes: int = 0
     stage_seconds: dict[str, float] = field(
         default_factory=lambda: {name: 0.0 for name in _ALL_STAGES}
     )
@@ -61,6 +69,13 @@ class RuntimeMetrics:
         "fingerprint_memo_hits",
         "fingerprint_memo_misses",
         "intern_overflow",
+        "retries",
+        "failovers",
+        "deadline_expiries",
+        "queue_evictions",
+        "breaker_opens",
+        "breaker_half_opens",
+        "breaker_closes",
     )
 
     def add(self, **deltas: int) -> None:
@@ -120,6 +135,15 @@ class RuntimeMetrics:
             memo_hits = self.fingerprint_memo_hits
             memo_misses = self.fingerprint_memo_misses
             overflow = self.intern_overflow
+            resilience = {
+                "retries": self.retries,
+                "failovers": self.failovers,
+                "deadline_expiries": self.deadline_expiries,
+                "queue_evictions": self.queue_evictions,
+                "breaker_opens": self.breaker_opens,
+                "breaker_half_opens": self.breaker_half_opens,
+                "breaker_closes": self.breaker_closes,
+            }
             stage_seconds = dict(self.stage_seconds)
         memo_total = memo_hits + memo_misses
         return {
@@ -137,6 +161,7 @@ class RuntimeMetrics:
                 memo_hits / memo_total if memo_total else 0.0
             ),
             "intern_overflow": overflow,
+            **resilience,
             "dedup_ratio": 1.0 - unique / queries if queries else 0.0,
             "stage_seconds": stage_seconds,
         }

@@ -56,6 +56,8 @@ class _LaneState:
         "last_at",
         "rejection_ewma",
         "admission_samples",
+        "fault_ewma",
+        "fault_samples",
     )
 
     def __init__(self, size: int) -> None:
@@ -68,6 +70,10 @@ class _LaneState:
         # work the backends' gates turned away (rejected/queued/spilled)
         self.rejection_ewma = 0.0
         self.admission_samples = 0
+        # resilience feedback: smoothed presence of retries/failovers
+        # in this lane's dispatches (1.0 = every batch faulted)
+        self.fault_ewma = 0.0
+        self.fault_samples = 0
 
 
 class BatchSizeTuner:
@@ -197,6 +203,43 @@ class BatchSizeTuner:
                 lane.size = max(self.min_size, int(shrunk))
             return lane.size
 
+    def observe_faults(
+        self, retries: int, failovers: int, application: str = ""
+    ) -> int:
+        """Record one dispatch's resilience churn; returns the new size.
+
+        ``retries`` / ``failovers`` come from the dispatch report (the
+        service's feedback hook forwards them). A batch that needed
+        either pulses a per-application fault EWMA toward 1; a clean
+        batch decays it. While the EWMA sits above
+        ``rejection_threshold`` the recommendation shrinks
+        multiplicatively — a flaky backend gets smaller groups, which
+        cheapens each retry and leaves headroom on the failover
+        sibling — and recovery regrows it through the normal bounded
+        latency fit.
+        """
+        faulted = retries > 0 or failovers > 0
+        with self._lock:
+            lane = self._lanes.get(application)
+            if lane is None:
+                if not faulted:
+                    return self.initial
+                lane = self._lanes[application] = _LaneState(self.initial)
+            if faulted:
+                lane.fault_ewma += self.smoothing * (1.0 - lane.fault_ewma)
+                lane.fault_samples += 1
+            else:
+                lane.fault_ewma *= 1.0 - self.smoothing
+            if faulted and lane.fault_ewma > self.rejection_threshold:
+                # same AIMD stance as admission pressure: shrink now,
+                # regrow one bounded step per clean labeling fit
+                shrunk = max(
+                    lane.size * (1.0 - lane.fault_ewma),
+                    lane.size / self.max_growth,
+                )
+                lane.size = max(self.min_size, int(shrunk))
+            return lane.size
+
     def observe_stats(
         self,
         runtime_snapshot: dict,
@@ -318,6 +361,8 @@ class BatchSizeTuner:
                         "last_observed_at": lane.last_at,
                         "rejection_ewma": lane.rejection_ewma,
                         "admission_samples": lane.admission_samples,
+                        "fault_ewma": lane.fault_ewma,
+                        "fault_samples": lane.fault_samples,
                     }
                     for app, lane in sorted(self._lanes.items())
                 },

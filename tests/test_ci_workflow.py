@@ -1,0 +1,66 @@
+"""The CI workflow stays single-sourced and wired to the bench gates.
+
+A stray copy of the workflow outside ``.github/workflows/`` (e.g. a
+``tools/ci.yml`` left behind by a refactor) silently drifts from the
+one CI actually runs; this guard keeps ``.github/workflows/`` the only
+home. It also pins that the workflow carries the advisory perf gates —
+including the resilience goodput floor — and references only benchmark
+files that exist, so a renamed bench can't leave CI pointing at
+nothing.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+WORKFLOWS = REPO_ROOT / ".github" / "workflows"
+
+_SKIP_DIRS = {".git", ".github", "__pycache__", ".pytest_cache", ".hypothesis"}
+
+
+def _stray_workflow_files() -> list[Path]:
+    """Workflow-looking YAML files outside .github/workflows."""
+    strays = []
+    for path in REPO_ROOT.rglob("*.yml"):
+        if any(part in _SKIP_DIRS for part in path.parts):
+            continue
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        # a GitHub Actions workflow declares jobs and an `on:` trigger
+        if re.search(r"^jobs:", text, re.M) and re.search(r"^on:", text, re.M):
+            strays.append(path)
+    return strays
+
+
+def test_workflows_live_only_under_dot_github():
+    strays = _stray_workflow_files()
+    assert not strays, (
+        "workflow copies outside .github/workflows drift from CI: "
+        f"{[str(p.relative_to(REPO_ROOT)) for p in strays]}"
+    )
+
+
+def test_ci_workflow_exists_and_carries_the_perf_gates():
+    ci = WORKFLOWS / "ci.yml"
+    assert ci.is_file()
+    text = ci.read_text(encoding="utf-8")
+    for gate in (
+        "REPRO_BENCH_MIN_SPEEDUP",
+        "REPRO_BENCH_MIN_HOT_PATH_SPEEDUP",
+        "REPRO_BENCH_MIN_CONCURRENT_SPEEDUP",
+        "REPRO_BENCH_MIN_LOADAWARE_SPEEDUP",
+        "REPRO_BENCH_MIN_MANY_TENANT_SPEEDUP",
+        "REPRO_BENCH_MIN_DISPATCH_SPEEDUP",
+        "REPRO_BENCH_MIN_RESILIENCE_GOODPUT",
+    ):
+        assert gate in text, f"ci.yml lost the {gate} gate"
+
+
+def test_ci_workflow_references_only_existing_benchmarks():
+    text = (WORKFLOWS / "ci.yml").read_text(encoding="utf-8")
+    for ref in re.findall(r"benchmarks/test_bench_\w+\.py", text):
+        assert (REPO_ROOT / ref).is_file(), f"ci.yml references missing {ref}"

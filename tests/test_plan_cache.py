@@ -200,6 +200,68 @@ class TestPlanCacheProtocol:
             assert field in stats
         assert stats["capacity"] == 7 and stats["hit_rate"] == 0.0
 
+    def test_epoch_invalidation_under_concurrent_ddl(self):
+        """DDL racing prepared execution: readers hammering one cached
+        template while a writer keeps bumping the catalog epoch (each
+        ``load_table`` of a fresh table invalidates the hot entry on
+        its next lookup) must never see an error or a wrong row — the
+        stale plan is dropped and replanned transparently — and the
+        epoch guard visibly invalidates along the way."""
+        import threading
+
+        db = _tiny_db()
+        ddl_rounds = 40
+        want = ((1,), (2,), (3,), (4,), (5,))
+        errors: list[BaseException] = []
+        reads = {"n": 0}
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    result = db.execute_prepared("select a from t where a >= 1")
+                    assert tuple(result.rows) == want
+                    reads["n"] += 1  # benign race: only needs to be > 0
+                except BaseException as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+                    return
+
+        def writer():
+            try:
+                for v in range(ddl_rounds):
+                    db.load_table(
+                        Table(
+                            name=f"ddl_{v}",
+                            dtypes={"c": "int"},
+                            columns={"c": np.arange(2)},
+                        )
+                    )
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        ddl = threading.Thread(target=writer)
+        for t in readers:
+            t.start()
+        ddl.start()
+        ddl.join(30.0)
+        stop.set()
+        for t in readers:
+            t.join(30.0)
+        assert not errors, errors
+        assert reads["n"] > 0
+        assert db.catalog_epoch >= ddl_rounds
+        # one more DDL bump, then a cold lookup: the guard must drop
+        # the stale entry deterministically (the concurrent phase above
+        # may or may not have caught a hit mid-invalidation)
+        db.load_table(
+            Table(name="ddl_last", dtypes={"c": "int"}, columns={"c": np.arange(2)})
+        )
+        assert tuple(db.execute_prepared("select a from t where a >= 1").rows) == want
+        assert db.plan_cache.stats()["invalidated"] > 0
+
 
 # -- property: prepared == unprepared ----------------------------------------
 

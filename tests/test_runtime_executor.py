@@ -469,6 +469,35 @@ class TestSharedStagePool:
         for i, future in enumerate(accepted):
             assert future.result(WAIT) == i  # drained, in order, no strands
 
+    def test_close_wakes_on_drain_without_polling(self):
+        """close()'s drain wait is condition-notified: the moment the
+        last outstanding batch resolves, the waiter wakes — no timed
+        polling loop — and the worker-exit accounting reaches zero."""
+        release = threading.Event()
+        finished = {"at": 0.0}
+
+        def dispatch(app, item):
+            assert release.wait(WAIT)
+            finished["at"] = time.monotonic()
+            return item
+
+        ex = StagedExecutor(
+            lambda app, item: item, dispatch, label_workers=1, dispatch_workers=1
+        )
+        assert ex._workers_alive == 2
+        future = ex.submit("X", 1)
+        closer = threading.Thread(target=ex.close)
+        closer.start()
+        closer.join(0.2)
+        assert closer.is_alive()  # blocked on the outstanding batch
+        release.set()
+        closer.join(WAIT)
+        assert not closer.is_alive()
+        assert future.result(WAIT) == 1
+        # every worker signed off through _worker_exit on its way out
+        assert ex._workers_alive == 0
+        assert finished["at"] > 0.0  # the batch genuinely ran during close
+
 
 # -- service wiring -----------------------------------------------------------
 

@@ -25,12 +25,20 @@ Exit status 0 when every record validates (or none exist yet), 1 with
 one line per problem otherwise. CI runs this right after the benchmark
 steps; ``tests/test_bench_results_schema.py`` runs the same checks in
 tier-1 against the committed records.
+
+When ``REPRO_BENCH_MIN_RESILIENCE_GOODPUT`` is set and a
+``BENCH_resilience.json`` record exists, its headline goodput ratio is
+compared against the floor as an *advisory* check: a shortfall prints
+a warning but never fails the run (the benchmark itself enforces the
+gate when it executes — this is the post-hoc reminder for runs that
+only validated committed records).
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import sys
 from pathlib import Path
 
@@ -88,12 +96,47 @@ def check_results(results_dir: Path = RESULTS_DIR) -> list[str]:
     return problems
 
 
+def advisory_resilience_goodput(results_dir: Path = RESULTS_DIR) -> list[str]:
+    """Advisory warnings (never failures) for the resilience record.
+
+    Compares ``BENCH_resilience.json``'s ``speedup`` (the resilient /
+    raw goodput ratio under the chaos schedule) against
+    ``REPRO_BENCH_MIN_RESILIENCE_GOODPUT`` when both exist.
+    """
+    floor_text = os.environ.get("REPRO_BENCH_MIN_RESILIENCE_GOODPUT", "")
+    if not floor_text:
+        return []
+    try:
+        floor = float(floor_text)
+    except ValueError:
+        return [
+            "advisory: REPRO_BENCH_MIN_RESILIENCE_GOODPUT="
+            f"{floor_text!r} is not a number; skipping the goodput check"
+        ]
+    path = results_dir / "BENCH_resilience.json"
+    if not path.is_file():
+        return []
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []  # the schema check already reports unreadable records
+    ratio = record.get("speedup")
+    if _is_positive_number(ratio) and ratio < floor:
+        return [
+            f"advisory: resilience goodput ratio {ratio:.2f} is below the "
+            f"REPRO_BENCH_MIN_RESILIENCE_GOODPUT floor of {floor:.2f}"
+        ]
+    return []
+
+
 def main() -> int:
     problems = check_results()
     if problems:
         for problem in problems:
             print(problem, file=sys.stderr)
         return 1
+    for warning in advisory_resilience_goodput():
+        print(warning, file=sys.stderr)
     n = len(list(RESULTS_DIR.glob("BENCH_*.json"))) if RESULTS_DIR.is_dir() else 0
     print(f"bench results ok ({n} BENCH_*.json record(s) validated)")
     return 0
