@@ -63,6 +63,22 @@ class TokenBucket:
             self._tokens -= granted
             return granted
 
+    def take_exact(self, n: int) -> bool:
+        """Grant exactly ``n`` tokens or none at all.
+
+        The all-or-nothing flavor the serving tier's edge admission
+        uses: a request frame is either wholly admitted or wholly shed
+        — a partially-executed frame has no meaningful reply.
+        """
+        if n <= 0:
+            return True
+        with self._lock:
+            self._refill()
+            if self._tokens < n:
+                return False
+            self._tokens -= n
+            return True
+
     @property
     def available(self) -> int:
         with self._lock:
@@ -125,6 +141,30 @@ class AdmissionController:
             self._offered += requested
             self._granted += n
             return n
+
+    def admit_all(self, n: int) -> bool:
+        """Admit exactly ``n`` units or nothing (slots *and* tokens).
+
+        The edge-admission flavor of :meth:`admit`: a network request
+        frame is indivisible, so a gate that can only take part of it
+        must shed the whole frame — before any slot or token is spent.
+        A refused offer still counts toward ``offered`` (and therefore
+        the rejection rate the routing and tuning layers watch).
+        """
+        if n <= 0:
+            return True
+        with self._lock:
+            self._offered += n
+            if (
+                self.max_in_flight is not None
+                and self.max_in_flight - self._in_flight < n
+            ):
+                return False
+            if self._bucket is not None and not self._bucket.take_exact(n):
+                return False
+            self._in_flight += n
+            self._granted += n
+            return True
 
     def release(self, n: int) -> None:
         """Return ``n`` previously admitted units' slots."""

@@ -95,6 +95,9 @@ class QuercService:
         # stats are kept for stats()
         self._tuner: BatchSizeTuner | None = None
         self._last_executor_stats: dict | None = None
+        # the serving tier (repro.server.QuercServer) registers itself
+        # here so stats() carries a "server" section
+        self._server = None
 
     # -- topology -----------------------------------------------------------------
 
@@ -345,6 +348,37 @@ class QuercService:
         surfaces. The executor's stats land in ``stats()["executor"]``
         either way.
         """
+        executor = self.create_staged_executor(
+            queue_depth=queue_depth,
+            tuner=tuner if tuner is not None else self._tuner,
+            label_workers=label_workers,
+            dispatch_workers=dispatch_workers,
+        )
+        try:
+            return executor.map(batches)
+        finally:
+            # drain first, snapshot second: on a failed run the
+            # in-flight batches still land before the stats do
+            executor.close()
+            self._last_executor_stats = executor.stats()
+
+    def create_staged_executor(
+        self,
+        queue_depth: int = 4,
+        tuner: BatchSizeTuner | None = None,
+        label_workers: int = 2,
+        dispatch_workers: int = 4,
+    ) -> StagedExecutor:
+        """A stage-pool executor wired to this service's two stages.
+
+        The same construction :meth:`process_routed_concurrent` uses —
+        label via :meth:`_stage_label`, dispatch via
+        :meth:`_stage_dispatch`, tuner feedback closed over dispatch
+        reports — but handed to the caller to own. The serving tier
+        (:class:`repro.server.QuercServer`) builds its long-lived
+        executor through here, so a network batch takes *exactly* the
+        library path. The caller must ``close()`` it.
+        """
         active_tuner = tuner if tuner is not None else self._tuner
         feedback = None
         if active_tuner is not None:
@@ -364,7 +398,7 @@ class QuercService:
                     report.retries, report.failovers, application=application
                 )
 
-        executor = StagedExecutor(
+        return StagedExecutor(
             self._stage_label,
             self._stage_dispatch,
             queue_depth=queue_depth,
@@ -373,13 +407,14 @@ class QuercService:
             label_workers=label_workers,
             dispatch_workers=dispatch_workers,
         )
-        try:
-            return executor.map(batches)
-        finally:
-            # drain first, snapshot second: on a failed run the
-            # in-flight batches still land before the stats do
-            executor.close()
-            self._last_executor_stats = executor.stats()
+
+    def attach_server(self, server) -> None:
+        """Register the serving tier so ``stats()["server"]`` reports it.
+
+        Called by :class:`repro.server.QuercServer` on construction;
+        one server per service — attaching another replaces the view.
+        """
+        self._server = server
 
     def _stage_label(self, application: str, batch: StreamBatch):
         """Executor stage A: convert the stream batch and label it.
@@ -435,18 +470,27 @@ class QuercService:
         retry policy; ``applications`` the per-app processed counts
         and bindings; ``executor`` the last staged
         (:meth:`process_routed_concurrent`) run's per-lane counters,
-        stage-pool occupancy, and overlap; ``tuner`` the batch-size
-        tuner's per-application state (both None until used).
+        stage-pool occupancy, and overlap — or the attached server's
+        live executor; ``tuner`` the batch-size tuner's
+        per-application state (both None until used); ``server`` the
+        serving tier's snapshot (sessions, frames, sheds, bytes, edge
+        gates) when a :class:`repro.server.QuercServer` is attached.
         """
         backends = self.router.snapshot()
+        executor_stats = self._last_executor_stats
+        if self._server is not None:
+            live = self._server.executor_stats()
+            if live is not None:
+                executor_stats = live
         return {
             "runtime": self.runtime.snapshot(),
             "backends": backends,
             "plan_cache": _aggregate_plan_cache(backends),
             "routing": self.router.routing_snapshot(),
             "resilience": self.router.resilience_snapshot(),
-            "executor": self._last_executor_stats,
+            "executor": executor_stats,
             "tuner": self._tuner.snapshot() if self._tuner is not None else None,
+            "server": self._server.stats() if self._server is not None else None,
             "applications": {
                 name: {
                     "processed": app.worker.processed_count,

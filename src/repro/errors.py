@@ -77,3 +77,32 @@ class BackendError(ReproError):
 
 class AdmissionError(BackendError):
     """Raised for invalid admission-control configuration."""
+
+
+class ProtocolError(ReproError):
+    """Raised for malformed wire frames in the serving protocol.
+
+    Carries a structured ``code`` (a :class:`repro.server.protocol.ErrorCode`
+    value) so transports can answer with a matching error frame.
+    """
+
+    def __init__(self, message: str, code: str = "BAD_FRAME") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServerError(ReproError):
+    """Raised by the serving front end (lifecycle, session misuse)."""
+
+
+class ServerReplyError(ServerError):
+    """A structured error frame received from the server.
+
+    ``code`` is the frame's error code (e.g. ``SERVER_BUSY``);
+    ``request_id`` the submit id it answers, when any.
+    """
+
+    def __init__(self, message: str, code: str, request_id=None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.request_id = request_id

@@ -86,18 +86,49 @@ _SENTINEL = object()
 class StagedFuture:
     """Completion handle for one submitted batch."""
 
-    __slots__ = ("application", "_event", "_value", "_error")
+    __slots__ = ("application", "_event", "_value", "_error", "_callbacks", "_cb_lock")
 
     def __init__(self, application: str) -> None:
         self.application = application
         self._event = threading.Event()
         self._value: Any = None
         self._error: BaseException | None = None
+        self._callbacks: list[Callable[["StagedFuture"], None]] = []
+        self._cb_lock = threading.Lock()
 
     def _resolve(self, value: Any = None, error: BaseException | None = None) -> None:
         self._value = value
         self._error = error
-        self._event.set()
+        with self._cb_lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            try:
+                callback(self)
+            except BaseException:  # noqa: BLE001 - callbacks never kill a worker
+                pass
+
+    def add_done_callback(
+        self, callback: Callable[["StagedFuture"], None]
+    ) -> None:
+        """Run ``callback(self)`` once the future resolves.
+
+        Called on the pool worker that resolved the batch (or
+        immediately, in the registering thread, when already done) —
+        the bridge asyncio producers use to get completions back onto
+        their event loop without parking a thread in :meth:`result`.
+        Each registered callback runs exactly once; exceptions are
+        swallowed — a broken observer must not kill a pool worker or
+        fail the batch.
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        try:
+            callback(self)
+        except BaseException:  # noqa: BLE001 - observer isolation
+            pass
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -295,6 +326,31 @@ class StagedExecutor:
                 lane.cond.wait()
             if lane.closed:
                 raise ServiceError("executor is closed")
+            lane.ingress.append((item, future))
+            lane.submitted += 1
+            with self._drain:
+                self._outstanding += 1
+            self._maybe_schedule_label(lane)
+        return future
+
+    def try_submit(self, application: str, item: Any) -> StagedFuture | None:
+        """Non-blocking :meth:`submit`: ``None`` when the lane is full.
+
+        The coroutine-producer flavor — an asyncio session must never
+        park its event-loop thread in ``submit``'s backpressure wait,
+        so it offers the batch, and on ``None`` awaits lane room its
+        own way (the serving tier waits on batch completions) before
+        offering again. A returned future carries the same guarantee
+        as ``submit``'s: it will resolve, even across a racing
+        :meth:`close`.
+        """
+        lane = self._lane(application)
+        with lane.cond:
+            if lane.closed:
+                raise ServiceError("executor is closed")
+            if len(lane.ingress) >= self.queue_depth:
+                return None
+            future = StagedFuture(application)
             lane.ingress.append((item, future))
             lane.submitted += 1
             with self._drain:

@@ -16,7 +16,10 @@ from dataclasses import dataclass, field
 STAGES = ("fingerprint", "dedup", "embed", "predict", "scatter")
 # the router's dispatch path reports into the same object
 ROUTING_STAGES = ("route", "execute")
-_ALL_STAGES = STAGES + ROUTING_STAGES
+# the serving front end's per-frame path: decode bytes → frames,
+# admit + bridge into the stage pool, encode + write replies
+SERVER_STAGES = ("server_decode", "server_submit", "server_reply")
+_ALL_STAGES = STAGES + ROUTING_STAGES + SERVER_STAGES
 
 
 @dataclass
@@ -51,6 +54,18 @@ class RuntimeMetrics:
     breaker_opens: int = 0
     breaker_half_opens: int = 0
     breaker_closes: int = 0
+    # serving-front-end counters, fed by QuercServer's sessions
+    server_sessions: int = 0  # connections accepted past the edge
+    server_sessions_closed: int = 0
+    server_sessions_shed: int = 0  # connections refused at accept time
+    server_frames_in: int = 0
+    server_frames_out: int = 0
+    server_frames_shed: int = 0  # submit frames refused SERVER_BUSY
+    server_bytes_in: int = 0
+    server_bytes_out: int = 0
+    server_protocol_errors: int = 0  # malformed/oversized/bad frames
+    server_queries: int = 0  # queries accepted into the stage pool
+    server_queries_shed: int = 0  # queries inside shed submit frames
     stage_seconds: dict[str, float] = field(
         default_factory=lambda: {name: 0.0 for name in _ALL_STAGES}
     )
@@ -76,6 +91,17 @@ class RuntimeMetrics:
         "breaker_opens",
         "breaker_half_opens",
         "breaker_closes",
+        "server_sessions",
+        "server_sessions_closed",
+        "server_sessions_shed",
+        "server_frames_in",
+        "server_frames_out",
+        "server_frames_shed",
+        "server_bytes_in",
+        "server_bytes_out",
+        "server_protocol_errors",
+        "server_queries",
+        "server_queries_shed",
     )
 
     def add(self, **deltas: int) -> None:
@@ -98,6 +124,19 @@ class RuntimeMetrics:
                 self.stage_seconds[name] = (
                     self.stage_seconds.get(name, 0.0) + elapsed
                 )
+
+    def add_stage_seconds(self, name: str, seconds: float) -> None:
+        """Credit externally-measured time to one stage.
+
+        The serving tier times its frame path on an injectable clock
+        (so protocol tests stay wall-clock-free) and deposits the
+        elapsed seconds here instead of using :meth:`stage`'s own
+        ``perf_counter``.
+        """
+        with self._lock:
+            self.stage_seconds[name] = (
+                self.stage_seconds.get(name, 0.0) + seconds
+            )
 
     @property
     def dedup_ratio(self) -> float:
@@ -144,6 +183,19 @@ class RuntimeMetrics:
                 "breaker_half_opens": self.breaker_half_opens,
                 "breaker_closes": self.breaker_closes,
             }
+            server = {
+                "sessions": self.server_sessions,
+                "sessions_closed": self.server_sessions_closed,
+                "sessions_shed": self.server_sessions_shed,
+                "frames_in": self.server_frames_in,
+                "frames_out": self.server_frames_out,
+                "frames_shed": self.server_frames_shed,
+                "bytes_in": self.server_bytes_in,
+                "bytes_out": self.server_bytes_out,
+                "protocol_errors": self.server_protocol_errors,
+                "queries": self.server_queries,
+                "queries_shed": self.server_queries_shed,
+            }
             stage_seconds = dict(self.stage_seconds)
         memo_total = memo_hits + memo_misses
         return {
@@ -162,6 +214,7 @@ class RuntimeMetrics:
             ),
             "intern_overflow": overflow,
             **resilience,
+            "server": server,
             "dedup_ratio": 1.0 - unique / queries if queries else 0.0,
             "stage_seconds": stage_seconds,
         }

@@ -1,0 +1,34 @@
+"""The serving tier: network front end over the Querc library spine.
+
+- :mod:`repro.server.protocol` — length-prefixed JSON-lines framing
+- :mod:`repro.server.edge` — accept/frame-time admission (shed early)
+- :mod:`repro.server.server` — :class:`QuercServer` + thread harness
+- :mod:`repro.server.client` — asyncio and blocking clients
+"""
+
+from repro.server.client import AsyncQuercClient, BatchResult, QuercClient
+from repro.server.edge import EdgeAdmission
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    FrameDecoder,
+    decode_payload,
+    encode_frame,
+)
+from repro.server.server import QuercServer, ServerThread
+
+__all__ = [
+    "AsyncQuercClient",
+    "BatchResult",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "EdgeAdmission",
+    "ErrorCode",
+    "FrameDecoder",
+    "PROTOCOL_VERSION",
+    "QuercClient",
+    "QuercServer",
+    "ServerThread",
+    "decode_payload",
+    "encode_frame",
+]

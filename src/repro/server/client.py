@@ -1,0 +1,411 @@
+"""Clients for the Querc serving tier.
+
+Two faces over the same wire protocol: :class:`AsyncQuercClient` for
+asyncio callers (the soak tests drive dozens of these on one loop) and
+:class:`QuercClient`, a plain blocking wrapper for scripts, examples,
+and benchmarks. Both perform the versioned hello on ``connect``, match
+streamed ``result`` frames back to ``submit`` ids (the server replies
+in completion order, not submission order), and raise
+:class:`~repro.errors.ServerReplyError` carrying the structured code
+when the server answers with an ``error`` frame.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+from collections.abc import Sequence
+
+from repro.errors import ProtocolError, ServerError, ServerReplyError
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    HEADER_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+    goodbye_frame,
+    hello_frame,
+    ping_frame,
+    submit_frame,
+)
+
+_HEADER = struct.Struct(">I")
+
+
+class BatchResult:
+    """One completed submit: the labeled rows plus the dispatch report.
+
+    ``labeled`` is the wire form — ``[{"query": ..., "labels": {...}},
+    ...]`` in the batch's original order; ``report`` mirrors the
+    library path's :class:`~repro.backends.router.DispatchReport`.
+    """
+
+    __slots__ = ("request_id", "labeled", "report")
+
+    def __init__(self, request_id: int, labeled: list, report: dict | None) -> None:
+        self.request_id = request_id
+        self.labeled = labeled
+        self.report = report
+
+    @property
+    def labels(self) -> list[dict]:
+        return [row["labels"] for row in self.labeled]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchResult(id={self.request_id}, n={len(self.labeled)})"
+        )
+
+
+def _reply_error(frame: dict) -> ServerReplyError:
+    return ServerReplyError(
+        frame.get("message", "server error"),
+        code=frame.get("code", "ERROR"),
+        request_id=frame.get("id"),
+    )
+
+
+class AsyncQuercClient:
+    """Asyncio client: concurrent submits over one session.
+
+    ``submit`` returns once the frame is on the wire; ``result`` (or
+    awaiting the future from ``submit_future``) collects the reply.
+    ``run_batch`` is the submit-and-wait convenience. One background
+    task reads the socket and resolves futures by id, so any number of
+    in-flight batches share the single connection.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        application: str = "",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        client_name: str = "repro-async-client",
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.application = application
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.client_name = client_name
+        self.session_id: int | None = None
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._decoder = FrameDecoder(self.max_frame_bytes)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._pongs: asyncio.Queue = asyncio.Queue()
+        self._reader_task: asyncio.Task | None = None
+        self._next_id = 1
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    async def connect(self) -> "AsyncQuercClient":
+        if self._writer is not None:
+            raise ServerError("client already connected")
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        await self._send(
+            hello_frame(
+                application=self.application, client=self.client_name
+            )
+        )
+        reply = await self._read_frame()
+        if reply is None:
+            raise ServerError("server closed the connection during hello")
+        if reply.get("type") == "error":
+            raise _reply_error(reply)
+        if reply.get("type") != "hello_ok":
+            raise ProtocolError(
+                f"expected hello_ok, got {reply.get('type')!r}"
+            )
+        self.session_id = reply.get("session")
+        self._reader_task = asyncio.create_task(
+            self._read_loop(), name="querc-client-reader"
+        )
+        return self
+
+    async def close(self) -> None:
+        """Orderly goodbye (best-effort) and teardown. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            try:
+                self._writer.write(
+                    encode_frame(goodbye_frame(), self.max_frame_bytes)
+                )
+                await self._writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        self._fail_pending(ServerError("client closed"))
+
+    async def __aenter__(self) -> "AsyncQuercClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- wire -----------------------------------------------------------------------
+
+    async def _send(self, frame: dict) -> None:
+        if self._writer is None:
+            raise ServerError("client is not connected")
+        self._writer.write(encode_frame(frame, self.max_frame_bytes))
+        await self._writer.drain()
+
+    async def _read_frame(self) -> dict | None:
+        """Read exactly one frame (handshake only; pre-reader-task)."""
+        assert self._reader is not None
+        while True:
+            data = await self._reader.read(1 << 16)
+            if not data:
+                return None
+            for event in self._decoder.feed(data):
+                if not event.ok:
+                    raise ProtocolError(event.detail, code=event.error)
+                return event.frame
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                data = await self._reader.read(1 << 16)
+                if not data:
+                    self._fail_pending(
+                        ServerError("server closed the connection")
+                    )
+                    return
+                for event in self._decoder.feed(data):
+                    if not event.ok:
+                        self._fail_pending(
+                            ProtocolError(event.detail, code=event.error)
+                        )
+                        return
+                    self._dispatch(event.frame)
+        except (ConnectionError, OSError) as exc:
+            self._fail_pending(ServerError(f"connection lost: {exc}"))
+
+    def _dispatch(self, frame: dict) -> None:
+        kind = frame.get("type")
+        if kind == "result":
+            future = self._pending.pop(frame.get("id"), None)
+            if future is not None and not future.done():
+                future.set_result(
+                    BatchResult(
+                        frame.get("id"),
+                        frame.get("labeled", []),
+                        frame.get("report"),
+                    )
+                )
+        elif kind == "error":
+            request_id = frame.get("id")
+            future = (
+                self._pending.pop(request_id, None)
+                if request_id is not None
+                else None
+            )
+            if future is not None and not future.done():
+                future.set_exception(_reply_error(frame))
+            # id-less error frames answer malformed bytes we did not
+            # send through submit; nothing to resolve
+        elif kind == "pong":
+            self._pongs.put_nowait(frame.get("token", 0))
+        # goodbye / unknown frames are ignorable here
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    # -- API ------------------------------------------------------------------------
+
+    async def submit_future(
+        self,
+        queries: Sequence[str],
+        application: str = "",
+        timestamps: Sequence[float] | None = None,
+    ) -> asyncio.Future:
+        """Send one batch; the returned future resolves to its
+        :class:`BatchResult` (or raises :class:`ServerReplyError`)."""
+        if self._closed or self._writer is None:
+            raise ServerError("client is not connected")
+        request_id = self._next_id
+        self._next_id += 1
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            await self._send(
+                submit_frame(
+                    request_id,
+                    list(queries),
+                    application=application,
+                    timestamps=(
+                        list(timestamps) if timestamps is not None else None
+                    ),
+                )
+            )
+        except BaseException:
+            self._pending.pop(request_id, None)
+            raise
+        return future
+
+    async def run_batch(
+        self,
+        queries: Sequence[str],
+        application: str = "",
+        timestamps: Sequence[float] | None = None,
+    ) -> BatchResult:
+        future = await self.submit_future(
+            queries, application=application, timestamps=timestamps
+        )
+        return await future
+
+    async def ping(self, token: int = 0) -> int:
+        await self._send(ping_frame(token))
+        return await self._pongs.get()
+
+
+class QuercClient:
+    """Blocking client over one socket — the scripting face.
+
+    One request in flight at a time: ``run_batch`` submits and waits.
+    Replies that answer protocol noise (id-less error frames) surface
+    as :class:`ServerReplyError` too — a sync caller has nowhere else
+    to hear about them.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        application: str = "",
+        timeout: float | None = 30.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        client_name: str = "repro-sync-client",
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.application = application
+        self.timeout = timeout
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.client_name = client_name
+        self.session_id: int | None = None
+        self._sock: socket.socket | None = None
+        self._decoder = FrameDecoder(self.max_frame_bytes)
+        self._next_id = 1
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def connect(self) -> "QuercClient":
+        if self._sock is not None:
+            raise ServerError("client already connected")
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._send(
+            hello_frame(application=self.application, client=self.client_name)
+        )
+        reply = self._read_frame()
+        if reply.get("type") == "error":
+            raise _reply_error(reply)
+        if reply.get("type") != "hello_ok":
+            raise ProtocolError(f"expected hello_ok, got {reply.get('type')!r}")
+        self.session_id = reply.get("session")
+        return self
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        try:
+            self._sock.sendall(
+                encode_frame(goodbye_frame(), self.max_frame_bytes)
+            )
+        except (ConnectionError, OSError):
+            pass
+        try:
+            self._sock.close()
+        finally:
+            self._sock = None
+
+    def __enter__(self) -> "QuercClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- wire -----------------------------------------------------------------------
+
+    def _send(self, frame: dict) -> None:
+        if self._sock is None:
+            raise ServerError("client is not connected")
+        self._sock.sendall(encode_frame(frame, self.max_frame_bytes))
+
+    def _read_frame(self) -> dict:
+        assert self._sock is not None
+        while True:
+            data = self._sock.recv(1 << 16)
+            if not data:
+                raise ServerError("server closed the connection")
+            events = self._decoder.feed(data)
+            if events:
+                event = events[0]
+                # frames arrive one reply per request here, so taking
+                # the first completed event per recv round is safe
+                if not event.ok:
+                    raise ProtocolError(event.detail, code=event.error)
+                return event.frame
+
+    # -- API ------------------------------------------------------------------------
+
+    def run_batch(
+        self,
+        queries: Sequence[str],
+        application: str = "",
+        timestamps: Sequence[float] | None = None,
+    ) -> BatchResult:
+        request_id = self._next_id
+        self._next_id += 1
+        self._send(
+            submit_frame(
+                request_id,
+                list(queries),
+                application=application,
+                timestamps=list(timestamps) if timestamps is not None else None,
+            )
+        )
+        while True:
+            frame = self._read_frame()
+            kind = frame.get("type")
+            if kind == "result" and frame.get("id") == request_id:
+                return BatchResult(
+                    request_id, frame.get("labeled", []), frame.get("report")
+                )
+            if kind == "error":
+                raise _reply_error(frame)
+            # pong/goodbye/other ids: not ours, keep reading
+
+    def ping(self, token: int = 0) -> int:
+        self._send(ping_frame(token))
+        while True:
+            frame = self._read_frame()
+            if frame.get("type") == "pong":
+                return frame.get("token", 0)
+            if frame.get("type") == "error":
+                raise _reply_error(frame)

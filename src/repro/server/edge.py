@@ -1,0 +1,131 @@
+"""Edge admission: shed load before it touches the serving spine.
+
+BRAD's front end and WiSeDB's advisors put the first admission decision
+at the network edge — a request the service cannot take right now is
+answered ``SERVER_BUSY`` *before* it consumes a lane slot, a backend
+token, or an executor thread. :class:`EdgeAdmission` reuses the
+backend layer's :class:`~repro.backends.admission.AdmissionController`
+for exactly that, with two gates:
+
+* the **session gate** bounds concurrent connections — refused at
+  accept time, before the handshake does any work;
+* the **query gate** bounds in-flight queries across every session and
+  (optionally) meters their arrival rate with a token bucket —
+  enforced per submit frame, all-or-nothing: a frame the gate cannot
+  take whole is shed whole, because a partially-executed request has
+  no meaningful reply.
+
+Both gates are optional; an unconfigured edge admits everything. The
+clock is injectable, so the soak tests drive the rate limit without
+wall-clock sleeps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from repro.backends.admission import AdmissionController
+
+
+class EdgeAdmission:
+    """Accept-time and frame-time admission for the serving tier."""
+
+    def __init__(
+        self,
+        max_sessions: int | None = None,
+        max_in_flight_queries: int | None = None,
+        queries_per_second: float | None = None,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._session_gate = (
+            AdmissionController(max_in_flight=max_sessions, clock=clock)
+            if max_sessions is not None
+            else None
+        )
+        self._query_gate = (
+            AdmissionController(
+                max_in_flight=max_in_flight_queries,
+                rate=queries_per_second,
+                burst=burst,
+                clock=clock,
+            )
+            if (max_in_flight_queries is not None or queries_per_second is not None)
+            else None
+        )
+        self._lock = threading.Lock()
+        self._sessions_admitted = 0
+        self._sessions_shed = 0
+        self._frames_admitted = 0
+        self._frames_shed = 0
+        self._queries_admitted = 0
+        self._queries_shed = 0
+
+    # -- session gate ---------------------------------------------------------------
+
+    def admit_session(self) -> bool:
+        """One connection asks in at accept time."""
+        ok = self._session_gate is None or self._session_gate.admit_all(1)
+        with self._lock:
+            if ok:
+                self._sessions_admitted += 1
+            else:
+                self._sessions_shed += 1
+        return ok
+
+    def release_session(self) -> None:
+        if self._session_gate is not None:
+            self._session_gate.release(1)
+
+    # -- query gate -----------------------------------------------------------------
+
+    def admit_frame(self, n_queries: int) -> bool:
+        """One submit frame asks in — whole or not at all."""
+        ok = self._query_gate is None or self._query_gate.admit_all(n_queries)
+        with self._lock:
+            if ok:
+                self._frames_admitted += 1
+                self._queries_admitted += n_queries
+            else:
+                self._frames_shed += 1
+                self._queries_shed += n_queries
+        return ok
+
+    def release_frame(self, n_queries: int) -> None:
+        """A previously admitted frame's queries finished (or died)."""
+        if self._query_gate is not None:
+            self._query_gate.release(n_queries)
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def sessions_shed(self) -> int:
+        with self._lock:
+            return self._sessions_shed
+
+    @property
+    def frames_shed(self) -> int:
+        with self._lock:
+            return self._frames_shed
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counters = {
+                "sessions_admitted": self._sessions_admitted,
+                "sessions_shed": self._sessions_shed,
+                "frames_admitted": self._frames_admitted,
+                "frames_shed": self._frames_shed,
+                "queries_admitted": self._queries_admitted,
+                "queries_shed": self._queries_shed,
+            }
+        return {
+            **counters,
+            "session_gate": (
+                self._session_gate.snapshot() if self._session_gate else None
+            ),
+            "query_gate": (
+                self._query_gate.snapshot() if self._query_gate else None
+            ),
+        }

@@ -6,6 +6,7 @@ once per session; tests must not mutate them.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 
@@ -117,3 +118,40 @@ def no_thread_leaks():
         "test leaked worker threads (close() must join them): "
         + ", ".join(repr(t.name) for t in leaked)
     )
+
+
+@pytest.fixture()
+def run_async(no_thread_leaks):
+    """Run a coroutine on a fresh event loop with leak hygiene.
+
+    The serving-tier counterpart of ``no_thread_leaks`` (which it
+    extends — thread checks apply too): after the coroutine finishes,
+    every asyncio task spawned during the test must already be done —
+    a session task or client reader still pending means some
+    ``close()``/``stop()`` path abandoned it. Checked *inside* the
+    loop, because ``asyncio.run`` would cancel (and so mask) the
+    leftovers on its way out.
+    """
+
+    def _run(coro):
+        async def _checked():
+            try:
+                return await coro
+            finally:
+                # one tick so just-finished tasks' done-callbacks run
+                await asyncio.sleep(0)
+                current = asyncio.current_task()
+                leaked = [
+                    t
+                    for t in asyncio.all_tasks()
+                    if t is not current and not t.done()
+                ]
+                assert not leaked, (
+                    "test leaked asyncio tasks (stop()/close() must "
+                    "await them): "
+                    + ", ".join(repr(t.get_name()) for t in leaked)
+                )
+
+        return asyncio.run(_checked())
+
+    return _run

@@ -124,6 +124,57 @@ class TestAdmissionController:
         assert snap["rate"] == 5.0
 
 
+class TestAllOrNothingAdmission:
+    """``admit_all`` / ``take_exact`` — the serving edge's gate mode.
+
+    A submit frame is one request: the edge takes it whole or not at
+    all, because a partially-admitted frame has no meaningful reply.
+    """
+
+    def test_take_exact_is_whole_or_nothing(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=4, clock=clock)
+        assert bucket.take_exact(5) is False  # over burst: nothing taken
+        assert bucket.take_exact(4) is True  # the refusal cost no tokens
+        assert bucket.take_exact(1) is False
+        clock.advance(2.0)
+        assert bucket.take_exact(2) is True
+
+    def test_admit_all_slots_whole_or_nothing(self):
+        gate = AdmissionController(max_in_flight=4)
+        assert gate.admit_all(5) is False
+        assert gate.in_flight == 0  # the refusal held nothing
+        assert gate.admit_all(4) is True
+        assert gate.admit_all(1) is False
+        gate.release(2)
+        assert gate.admit_all(2) is True
+
+    def test_admit_all_composes_slots_and_rate(self):
+        clock = FakeClock()
+        gate = AdmissionController(
+            max_in_flight=10, rate=1.0, burst=3, clock=clock
+        )
+        assert gate.admit_all(3) is True
+        assert gate.admit_all(1) is False  # bucket empty, slots free
+        gate.release(3)
+        clock.advance(3.0)
+        assert gate.admit_all(3) is True
+
+    def test_admit_all_zero_and_unconfigured(self):
+        assert AdmissionController().admit_all(100) is True
+        gate = AdmissionController(max_in_flight=1)
+        assert gate.admit_all(0) is True
+        assert gate.in_flight == 0
+
+    def test_admit_all_counts_offered_and_granted(self):
+        gate = AdmissionController(max_in_flight=2)
+        gate.admit_all(2)
+        gate.admit_all(2)
+        snap = gate.snapshot()
+        assert snap["offered"] == 4
+        assert snap["granted"] == 2
+
+
 @pytest.fixture(scope="module")
 def snow_records():
     return generate_snowsim_workload(SnowSimConfig(total_queries=600, seed=11))

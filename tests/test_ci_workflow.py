@@ -56,6 +56,7 @@ def test_ci_workflow_exists_and_carries_the_perf_gates():
         "REPRO_BENCH_MIN_MANY_TENANT_SPEEDUP",
         "REPRO_BENCH_MIN_DISPATCH_SPEEDUP",
         "REPRO_BENCH_MIN_RESILIENCE_GOODPUT",
+        "REPRO_BENCH_MIN_SERVER_QPS",
     ):
         assert gate in text, f"ci.yml lost the {gate} gate"
 

@@ -1,0 +1,147 @@
+"""Spill-path row materialization in ``BatchRouter.dispatch``.
+
+The columnar contract: a :class:`ColumnarBatch` flows route → admit →
+execute entirely as arrays, and per-row ``LabeledQuery`` objects are
+built *only* where a spill path genuinely iterates rows. These tests
+instrument ``ColumnarBatch.message_at`` (the single on-demand
+materialization point) and pin down, per spill policy, exactly which
+rows are allowed to materialize: none for an in-gate dispatch or a
+REJECT/FALLBACK overflow, and only the parked rows when QUEUE overflow
+is later drained. The batch-level ``to_messages`` cache must stay cold
+throughout — dispatch never pays the full-batch materialization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BackendRegistry,
+    BatchRouter,
+    NullBackend,
+    SpillPolicy,
+)
+from repro.core.labeled_query import LabeledQuery
+from repro.runtime.columnar import ColumnarBatch
+
+
+def columnar_batch(n: int, cluster: str = "east") -> ColumnarBatch:
+    """An n-row batch with one route-label column (identity inverse,
+    so row i's template is i — indices in assertions read literally)."""
+    messages = [LabeledQuery.make(f"select {i} from t") for i in range(n)]
+    batch = ColumnarBatch(messages)
+    batch.add_column(
+        "cluster",
+        np.array([cluster] * n, dtype=object),
+        np.arange(n, dtype=np.intp),
+    )
+    return batch
+
+
+@pytest.fixture()
+def materialized_rows(monkeypatch):
+    """Record every row index ``message_at`` materializes."""
+    calls: list[int] = []
+    original = ColumnarBatch.message_at
+
+    def counting(self, i):
+        calls.append(int(i))
+        return original(self, i)
+
+    monkeypatch.setattr(ColumnarBatch, "message_at", counting)
+    return calls
+
+
+class TestSpillMaterialization:
+    def test_fully_admitted_dispatch_materializes_nothing(
+        self, materialized_rows
+    ):
+        registry = BackendRegistry()
+        registry.register(NullBackend("DB(A)"))
+        router = BatchRouter(registry, default_backend="DB(A)")
+        batch = columnar_batch(8)
+        report = router.dispatch("app", batch)
+        assert report.admitted == 8
+        assert materialized_rows == []
+        assert batch._materialized is None
+
+    def test_reject_overflow_materializes_nothing(self, materialized_rows):
+        registry = BackendRegistry()
+        registry.register(NullBackend("DB(A)"), max_in_flight=3)
+        router = BatchRouter(registry, default_backend="DB(A)")
+        batch = columnar_batch(8)
+        report = router.dispatch("app", batch)
+        assert report.admitted == 3
+        assert report.rejected == 5
+        # rejection is a disposition, not an iteration: no rows built
+        assert materialized_rows == []
+        assert batch._materialized is None
+
+    def test_queue_spill_parks_rows_without_materializing(
+        self, materialized_rows
+    ):
+        registry = BackendRegistry()
+        binding = registry.register(
+            NullBackend("DB(A)"),
+            max_in_flight=3,
+            spill=SpillPolicy.QUEUE,
+            queue_capacity=16,
+        )
+        router = BatchRouter(registry, default_backend="DB(A)")
+        batch = columnar_batch(8)
+        report = router.dispatch("app", batch)
+        assert report.admitted == 3
+        assert report.queued == 5
+        # parking stores a zero-copy slice: still nothing materialized
+        assert materialized_rows == []
+
+        # draining the parked slice touches the 5 spilled rows — and
+        # only those; the admitted head (rows 0-2) is never rebuilt
+        parked = binding.take_pending()
+        drained = list(parked)
+        assert [m.query for m in drained] == [
+            f"select {i} from t" for i in range(3, 8)
+        ]
+        assert sorted(materialized_rows) == [3, 4, 5, 6, 7]
+        # the spilled rows carry their labels despite lazy build
+        assert {m.label("cluster") for m in drained} == {"east"}
+        assert batch._materialized is None
+
+    def test_fallback_spill_executes_sibling_columnar(self, materialized_rows):
+        registry = BackendRegistry()
+        registry.register(
+            NullBackend("DB(A)"),
+            max_in_flight=3,
+            spill=SpillPolicy.FALLBACK,
+            fallback="DB(B)",
+        )
+        registry.register(NullBackend("DB(B)"))
+        router = BatchRouter(registry, default_backend="DB(A)")
+        batch = columnar_batch(8)
+        report = router.dispatch("app", batch)
+        assert report.admitted == 8  # 3 on A + 5 across on B
+        by_backend = {d.backend: d for d in report.decisions}
+        assert by_backend["DB(B)"].spilled_from == "DB(A)"
+        assert by_backend["DB(B)"].admitted == 5
+        # the sibling executes the overflow via the batch's text
+        # array (ColumnarSlice.queries) — still zero row objects
+        assert materialized_rows == []
+        assert batch._materialized is None
+
+    def test_to_messages_after_dispatch_is_the_single_full_build(
+        self, materialized_rows
+    ):
+        registry = BackendRegistry()
+        registry.register(NullBackend("DB(A)"), max_in_flight=3)
+        router = BatchRouter(registry, default_backend="DB(A)")
+        batch = columnar_batch(6)
+        router.dispatch("app", batch)
+        assert materialized_rows == []
+        labeled = batch.to_messages()  # the stage-B boundary
+        assert len(labeled) == 6
+        assert all(m.label("cluster") == "east" for m in labeled)
+        # the bulk build goes through the fancy-index scatter, not
+        # per-row message_at calls
+        assert materialized_rows == []
+        assert batch._materialized is not None

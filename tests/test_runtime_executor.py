@@ -233,6 +233,79 @@ class TestStagedExecutor:
         assert 1 <= pool["max_label_active"] <= pool["label_workers"]
         assert 1 <= pool["max_dispatch_active"] <= pool["dispatch_workers"]
 
+    def test_try_submit_returns_none_on_full_lane_then_recovers(self):
+        # the serving tier's bridge depends on this exact contract:
+        # a full ingress yields None (never blocks), and room freed by
+        # the label worker makes the same offer succeed
+        entered = threading.Event()
+        release = threading.Event()
+
+        def label(app, item):
+            entered.set()
+            assert release.wait(WAIT)
+            return item
+
+        ex = StagedExecutor(
+            label, lambda app, item: item, queue_depth=1, label_workers=1
+        )
+        try:
+            held = ex.submit("X", 0)
+            assert entered.wait(WAIT)  # worker holds item 0, blocked
+            queued = ex.try_submit("X", 1)  # fills the depth-1 ingress
+            assert queued is not None
+            assert ex.try_submit("X", 2) is None  # full: refused, no block
+            release.set()
+            assert held.result(WAIT) == 0
+            assert queued.result(WAIT) == 1
+            late = ex.try_submit("X", 3)
+            assert late is not None
+            assert late.result(WAIT) == 3
+        finally:
+            release.set()
+            ex.close()
+
+    def test_try_submit_after_close_raises(self):
+        ex = StagedExecutor(lambda a, i: i, lambda a, i: i)
+        ex.close()
+        with pytest.raises(ServiceError):
+            ex.try_submit("X", 1)
+
+    def test_done_callback_fires_exactly_once_either_side_of_done(self):
+        calls: list[tuple[str, bool]] = []
+        with StagedExecutor(lambda a, i: i, lambda a, i: i) as ex:
+            future = ex.submit("X", 7)
+            future.add_done_callback(
+                lambda f: calls.append(("early", f.done()))
+            )
+            assert future.result(WAIT) == 7
+            future.add_done_callback(
+                lambda f: calls.append(("late", f.done()))
+            )
+        assert sorted(calls) == [("early", True), ("late", True)]
+
+    def test_done_callback_fires_on_failed_future_too(self):
+        def dispatch(app, item):
+            raise RuntimeError("db down")
+
+        seen: list = []
+        with StagedExecutor(lambda a, i: i, dispatch) as ex:
+            future = ex.submit("X", 1)
+            future.add_done_callback(lambda f: seen.append(f))
+            with pytest.raises(RuntimeError):
+                future.result(WAIT)
+        assert seen == [future]
+        assert future.done()
+
+    def test_done_callback_exception_does_not_break_resolution(self):
+        def bad_callback(_f):
+            raise ValueError("observer bug")
+
+        with StagedExecutor(lambda a, i: i, lambda a, i: i) as ex:
+            future = ex.submit("X", 5)
+            future.add_done_callback(bad_callback)
+            # the observer's failure stays the observer's problem
+            assert future.result(WAIT) == 5
+
     def test_invalid_queue_depth_rejected(self):
         with pytest.raises(ServiceError):
             StagedExecutor(lambda a, i: i, lambda a, i: i, queue_depth=0)
