@@ -1,0 +1,139 @@
+"""Predictive provisioning: the pool follows the forecast, not the lag.
+
+Two applications share one staged deployment on a fixed thread
+budget. ``X`` ramps from a trickle to a flood while ``Y`` ticks along
+steadily. A :class:`PredictiveProvisioner` rides the dispatch-feedback
+path: per-tenant arrival-rate forecasters (Holt level+trend on fixed
+clock buckets) feed a :class:`ProvisioningPlanner`, which re-splits
+the same thread budget between the label and dispatch stages, re-rates
+the admission gates, and publishes every decision as an auditable
+blueprint diff in ``stats()["forecast"]`` — all applied live through
+``StagedExecutor.resize`` / ``AdmissionController.resize`` with
+results byte-identical to a fixed pool.
+
+The first section shows the planner alone: it is a pure function from
+forecast numbers to a diff, no deployment required. The second runs
+the closed loop against a live service.
+
+Run:  PYTHONPATH=src python examples/predictive_provisioning.py
+"""
+
+from repro import QuercService
+from repro.backends import NullBackend
+from repro.forecast import (
+    AdmissionPlan,
+    Blueprint,
+    PredictiveProvisioner,
+    ProvisioningPlanner,
+)
+from repro.workloads import QueryLogRecord, StreamBatch
+
+THREAD_BUDGET = 8
+
+
+def plan_on_paper() -> None:
+    """The planner is a pure function: numbers in, blueprint diff out."""
+    planner = ProvisioningPlanner(thread_budget=THREAD_BUDGET, headroom=1.25)
+    current = Blueprint(
+        label_workers=4,
+        dispatch_workers=4,
+        admission={"DB(X)": AdmissionPlan(max_in_flight=8, rate=100.0)},
+    )
+    diff = planner.plan(
+        predicted_qps=400.0,  # the forecaster saw a ramp and extrapolated
+        label_cost=0.002,  # stage A: cheap labeling
+        dispatch_cost=0.010,  # stage B: the expensive side
+        current=current,
+        backend_weights={"DB(X)": 1.0},
+        now=42.0,
+    )
+    print("— plan on paper —")
+    print(
+        f"  demand-driven split of {THREAD_BUDGET} threads: "
+        f"{current.label_workers}+{current.dispatch_workers} -> "
+        f"{diff.recommended.label_workers}+{diff.recommended.dispatch_workers}"
+    )
+    for change in diff.changes:
+        print(
+            f"  {change['kind']:<10} {change['target']:<6} "
+            f"{change['field']:<14} {change['current']} -> "
+            f"{change['recommended']}"
+        )
+
+
+def batch(app: str, step: int, n: int) -> StreamBatch:
+    return StreamBatch(
+        application=app,
+        records=[
+            QueryLogRecord(
+                query=f"select c{i} from {app}_t where k = {step}",
+                user="u",
+                account="a",
+                cluster="east",
+                timestamp=float(step),
+            )
+            for i in range(n)
+        ],
+        time_step=step,
+    )
+
+
+def main() -> None:
+    plan_on_paper()
+
+    service = QuercService()
+    service.register_backend(NullBackend("DB(X)"), max_in_flight=16, rate=500.0)
+    service.register_backend(NullBackend("DB(Y)"))
+    service.add_application("X", backend="DB(X)")
+    service.add_application("Y", backend="DB(Y)")
+
+    provisioner = service.set_provisioner(
+        PredictiveProvisioner(
+            planner=ProvisioningPlanner(thread_budget=THREAD_BUDGET),
+            interval_seconds=0.01,  # plan eagerly for the demo
+        )
+    )
+
+    # X ramps 4 -> 64 queries per step; Y stays at 8
+    batches = []
+    for step in range(16):
+        batches.append(batch("X", step, min(64, 4 * (step + 1))))
+        batches.append(batch("Y", step, 8))
+
+    results = service.process_routed_concurrent(
+        batches, label_workers=4, dispatch_workers=4
+    )
+    assert len(results) == len(batches)
+
+    stats = service.stats()
+    forecast = stats["forecast"]
+    pool = stats["executor"]["pool"]
+    print("— live loop —")
+    print(
+        f"  plans {forecast['plans']}, applied {forecast['applies']} "
+        f"(errors {forecast['apply_errors']})"
+    )
+    for tenant, state in sorted(forecast["tenants"].items()):
+        print(
+            f"  tenant {tenant}: observed {state['total_observed']} queries, "
+            f"level {state['level']:.0f} q/s, trend {state['trend']:+.1f}"
+        )
+    print(
+        f"  pool now {pool['label_workers']}+{pool['dispatch_workers']} "
+        f"of {THREAD_BUDGET} (resizes {pool['resizes']}, "
+        f"retired {pool['workers_retired']})"
+    )
+    diff = forecast["last_diff"]
+    if diff is not None:
+        print(f"  last diff ({len(diff['changes'])} changes):")
+        for change in diff["changes"]:
+            print(
+                f"    {change['kind']:<10} {change['target']:<6} "
+                f"{change['field']:<14} {change['current']} -> "
+                f"{change['recommended']}"
+            )
+    service.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,10 @@ from collections.abc import Callable
 
 from repro.errors import AdmissionError
 
+# "leave this knob alone" marker for resize() — None is a meaningful
+# value there (remove the bound), so absence needs its own sentinel
+_UNSET = object()
+
 
 class TokenBucket:
     """Classic token bucket: ``rate`` tokens/second, capacity ``burst``.
@@ -79,6 +83,30 @@ class TokenBucket:
             self._tokens -= n
             return True
 
+    def resize(self, rate: float | None = None, burst: float | None = None) -> None:
+        """Change the refill rate and/or capacity without minting tokens.
+
+        The balance is first refilled at the *old* rate (time already
+        elapsed is priced at the rate it accrued under), then the new
+        parameters take effect and the balance is clamped to the new
+        ``burst``. Growing the capacity never grants the difference as
+        an instant burst — the extra headroom fills at the new rate —
+        and shrinking it forfeits any excess immediately, so a
+        provisioning change can never let a spike through that neither
+        configuration would have admitted.
+        """
+        if rate is not None and rate <= 0:
+            raise AdmissionError("token rate must be positive")
+        if burst is not None and burst <= 0:
+            raise AdmissionError("burst capacity must be positive")
+        with self._lock:
+            self._refill()  # accrue at the old rate up to now
+            if rate is not None:
+                self.rate = float(rate)
+            if burst is not None:
+                self.burst = float(burst)
+            self._tokens = min(self._tokens, self.burst)
+
     @property
     def available(self) -> int:
         with self._lock:
@@ -116,6 +144,7 @@ class AdmissionController:
         if burst is not None and rate is None:
             raise AdmissionError("burst requires a rate")
         self.max_in_flight = max_in_flight
+        self._clock = clock
         self._bucket = (
             TokenBucket(rate, burst if burst is not None else rate, clock)
             if rate is not None
@@ -124,6 +153,7 @@ class AdmissionController:
         self._in_flight = 0
         self._offered = 0
         self._granted = 0
+        self._resizes = 0
         self._lock = threading.Lock()
 
     def admit(self, n: int) -> int:
@@ -165,6 +195,56 @@ class AdmissionController:
             self._in_flight += n
             self._granted += n
             return True
+
+    def resize(
+        self,
+        max_in_flight: "int | None | object" = _UNSET,
+        rate: "float | None | object" = _UNSET,
+        burst: "float | None | object" = _UNSET,
+    ) -> dict:
+        """Re-provision the gate in place; returns the new snapshot.
+
+        Omitted knobs keep their value; passing ``None`` removes that
+        bound. Work already in flight is never disturbed: shrinking
+        ``max_in_flight`` below the current occupancy only pauses new
+        admissions until releases drain under the new bound, and rate
+        changes go through :meth:`TokenBucket.resize` — the balance is
+        carried over and clamped, never topped up, so a resize cannot
+        mint a token burst. A bucket created by adding a rate to a
+        previously unlimited gate starts *empty*: arrivals that used
+        to pass uncounted begin paying immediately.
+        """
+        if max_in_flight is not _UNSET:
+            if max_in_flight is not None and max_in_flight < 1:
+                raise AdmissionError("max_in_flight must be >= 1 (or None)")
+            with self._lock:
+                self.max_in_flight = max_in_flight
+        if rate is not _UNSET or burst is not _UNSET:
+            new_rate = None if rate is _UNSET else rate
+            new_burst = None if burst is _UNSET else burst
+            with self._lock:
+                if rate is not _UNSET and rate is None:
+                    # burst without a rate is the constructor's error too
+                    if new_burst is not None:
+                        raise AdmissionError("burst requires a rate")
+                    self._bucket = None
+                elif self._bucket is not None:
+                    self._bucket.resize(rate=new_rate, burst=new_burst)
+                elif new_rate is not None:
+                    bucket = TokenBucket(
+                        new_rate,
+                        new_burst if new_burst is not None else new_rate,
+                        self._clock,
+                    )
+                    # start empty, not full: adding a rate limit must
+                    # meter the very next arrival, not grant a burst
+                    bucket._tokens = 0.0
+                    self._bucket = bucket
+                else:
+                    raise AdmissionError("burst requires a rate")
+        with self._lock:
+            self._resizes += 1
+        return self.snapshot()
 
     def release(self, n: int) -> None:
         """Return ``n`` previously admitted units' slots."""
@@ -221,4 +301,6 @@ class AdmissionController:
                     self._bucket.available if self._bucket else None
                 ),
                 "rate": self._bucket.rate if self._bucket else None,
+                "burst": self._bucket.burst if self._bucket else None,
+                "resizes": self._resizes,
             }

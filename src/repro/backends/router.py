@@ -647,6 +647,16 @@ class BatchRouter:
         with self._lock:
             return self._candidates.get(label_value)
 
+    def candidate_sets(self) -> dict:
+        """Every explicit candidate set, label → name tuple.
+
+        The provisioning planner's view of the placement degrees of
+        freedom — cheap (no load views built), unlike
+        :meth:`routing_snapshot`.
+        """
+        with self._lock:
+            return {label: tuple(names) for label, names in self._candidates.items()}
+
     def _policy_target(
         self, label, policy: RoutingPolicy, view_cache: dict
     ) -> str | None:
@@ -1043,7 +1053,13 @@ class BatchRouter:
         label = None
         if len(messages):
             try:
-                label = messages[0].label(self.route_label)
+                if isinstance(messages, ColumnarSlice):
+                    # read the label from the column arrays — indexing
+                    # the slice would materialize a per-row message,
+                    # and to_messages() is the only place that may
+                    label = messages.label_at(0, self.route_label)
+                else:
+                    label = messages[0].label(self.route_label)
             except Exception:
                 label = None
         with self._lock:

@@ -98,6 +98,10 @@ class QuercService:
         # the serving tier (repro.server.QuercServer) registers itself
         # here so stats() carries a "server" section
         self._server = None
+        # predictive provisioning: a repro.forecast.PredictiveProvisioner
+        # observing the dispatch-feedback path and re-planning on its
+        # interval; stats()["forecast"] publishes its blueprint diffs
+        self._provisioner = None
 
     # -- topology -----------------------------------------------------------------
 
@@ -311,6 +315,30 @@ class QuercService:
     def batch_tuner(self) -> BatchSizeTuner | None:
         return self._tuner
 
+    def set_provisioner(self, provisioner):
+        """Attach a :class:`~repro.forecast.PredictiveProvisioner`.
+
+        The provisioner observes every staged dispatch completion
+        (arrival counts + route-label mix per tenant) and, on its
+        planning interval, emits a blueprint diff — current vs
+        recommended ``label_workers``/``dispatch_workers``, per-backend
+        admission knobs, and per-label candidate sets — via
+        ``stats()["forecast"]``. With ``auto_apply`` it enacts the diff
+        live through ``StagedExecutor.resize``,
+        ``AdmissionController.resize``, and router candidate updates.
+        It is bound to the backend registry and router immediately and
+        to each staged executor as :meth:`create_staged_executor`
+        builds one. Pass ``None`` to detach.
+        """
+        self._provisioner = provisioner
+        if provisioner is not None:
+            provisioner.bind(registry=self.backends, router=self.router)
+        return provisioner
+
+    @property
+    def provisioner(self):
+        return self._provisioner
+
     def process_routed_concurrent(
         self,
         batches: "Iterable[StreamBatch]",
@@ -380,13 +408,26 @@ class QuercService:
         library path. The caller must ``close()`` it.
         """
         active_tuner = tuner if tuner is not None else self._tuner
+        provisioner = self._provisioner
         feedback = None
-        if active_tuner is not None:
+        if active_tuner is not None or provisioner is not None:
             # close the admission loop: every dispatch report's
             # offered/admitted shortfall shrinks that tenant's batches;
             # resilience churn (retries, failovers) shrinks them too —
-            # a flaky backend gets cheaper groups to re-run
-            def feedback(application: str, result, _tuner=active_tuner):
+            # a flaky backend gets cheaper groups to re-run. The
+            # provisioner rides the same completions: it observes each
+            # tenant's arrivals + label mix and replans on its interval
+            def feedback(
+                application: str,
+                result,
+                _tuner=active_tuner,
+                _provisioner=provisioner,
+            ):
+                if _provisioner is not None:
+                    _provisioner.observe_result(application, result)
+                    _provisioner.tick()
+                if _tuner is None:
+                    return
                 _, report = result
                 if not isinstance(report, DispatchReport):
                     return
@@ -398,7 +439,7 @@ class QuercService:
                     report.retries, report.failovers, application=application
                 )
 
-        return StagedExecutor(
+        executor = StagedExecutor(
             self._stage_label,
             self._stage_dispatch,
             queue_depth=queue_depth,
@@ -407,6 +448,11 @@ class QuercService:
             label_workers=label_workers,
             dispatch_workers=dispatch_workers,
         )
+        if provisioner is not None:
+            provisioner.bind(
+                executor=executor, registry=self.backends, router=self.router
+            )
+        return executor
 
     def attach_server(self, server) -> None:
         """Register the serving tier so ``stats()["server"]`` reports it.
@@ -471,7 +517,10 @@ class QuercService:
         and bindings; ``executor`` the last staged
         (:meth:`process_routed_concurrent`) run's per-lane counters,
         stage-pool occupancy, and overlap — or the attached server's
-        live executor; ``tuner`` the batch-size tuner's
+        live executor; ``forecast`` the predictive provisioner's
+        snapshot — per-tenant rate forecasts, the mix, and the last
+        blueprint diff (``None`` until :meth:`set_provisioner`);
+        ``tuner`` the batch-size tuner's
         per-application state (both None until used); ``server`` the
         serving tier's snapshot (sessions, frames, sheds, bytes, edge
         gates) when a :class:`repro.server.QuercServer` is attached.
@@ -489,6 +538,11 @@ class QuercService:
             "routing": self.router.routing_snapshot(),
             "resilience": self.router.resilience_snapshot(),
             "executor": executor_stats,
+            "forecast": (
+                self._provisioner.snapshot()
+                if self._provisioner is not None
+                else None
+            ),
             "tuner": self._tuner.snapshot() if self._tuner is not None else None,
             "server": self._server.stats() if self._server is not None else None,
             "applications": {

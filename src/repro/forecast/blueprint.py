@@ -1,0 +1,156 @@
+"""The provisioning blueprint: what the deployment looks like, and
+what the planner thinks it should look like.
+
+brad splits the same idea across ``blueprint/`` + ``planner/``: a
+*blueprint* is the declarative description of the provisioned shape —
+here the stage-pool worker counts, each backend's admission knobs, and
+each route label's candidate set — and planning produces a **diff**
+between the current blueprint and a recommended one, never a mutation.
+The diff is the audit trail: ``stats()["forecast"]`` shows exactly
+what the planner wants changed and why an applied resize happened,
+and an operator can run the planner with application disabled and
+read the diff instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AdmissionPlan:
+    """One backend's admission knobs as a value object.
+
+    ``None`` means "unbounded" for each knob, mirroring
+    :class:`~repro.backends.admission.AdmissionController`.
+    """
+
+    max_in_flight: int | None = None
+    rate: float | None = None
+    burst: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "max_in_flight": self.max_in_flight,
+            "rate": self.rate,
+            "burst": self.burst,
+        }
+
+
+@dataclass(frozen=True)
+class Blueprint:
+    """A complete provisioning shape at one instant.
+
+    * ``label_workers`` / ``dispatch_workers`` — the stage-pool sizes;
+    * ``admission`` — backend name → :class:`AdmissionPlan`;
+    * ``candidates`` — route label (stringified) → ordered backend
+      names the policy may place that label on.
+    """
+
+    label_workers: int
+    dispatch_workers: int
+    admission: dict = field(default_factory=dict)
+    candidates: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "label_workers": self.label_workers,
+            "dispatch_workers": self.dispatch_workers,
+            "admission": {
+                name: plan.to_dict()
+                for name, plan in sorted(self.admission.items())
+            },
+            "candidates": {
+                str(label): list(names)
+                for label, names in sorted(
+                    self.candidates.items(), key=lambda kv: str(kv[0])
+                )
+            },
+        }
+
+
+class BlueprintDiff:
+    """Current vs recommended blueprint, with the changes itemized.
+
+    ``changes`` is computed once at construction: a list of flat
+    records (``kind``, ``target``, ``field``, ``current``,
+    ``recommended``) — one per knob that differs — so a log line, a
+    test assertion, or ``stats()["forecast"]`` can show precisely what
+    the planner wants without diffing nested dicts. ``is_noop`` is
+    "the deployment already matches the recommendation".
+    """
+
+    def __init__(
+        self,
+        current: Blueprint,
+        recommended: Blueprint,
+        generated_at: float = 0.0,
+        reason: str = "",
+    ) -> None:
+        self.current = current
+        self.recommended = recommended
+        self.generated_at = float(generated_at)
+        self.reason = reason
+        self.changes = self._compute_changes()
+
+    def _compute_changes(self) -> list[dict]:
+        changes: list[dict] = []
+
+        def note(kind: str, target: str, field_name: str, cur, rec) -> None:
+            if cur != rec:
+                changes.append(
+                    {
+                        "kind": kind,
+                        "target": target,
+                        "field": field_name,
+                        "current": cur,
+                        "recommended": rec,
+                    }
+                )
+
+        note(
+            "pool", "executor", "label_workers",
+            self.current.label_workers, self.recommended.label_workers,
+        )
+        note(
+            "pool", "executor", "dispatch_workers",
+            self.current.dispatch_workers, self.recommended.dispatch_workers,
+        )
+        names = sorted(
+            set(self.current.admission) | set(self.recommended.admission)
+        )
+        empty = AdmissionPlan()
+        for name in names:
+            cur = self.current.admission.get(name, empty)
+            rec = self.recommended.admission.get(name, empty)
+            note("admission", name, "max_in_flight", cur.max_in_flight, rec.max_in_flight)
+            note("admission", name, "rate", cur.rate, rec.rate)
+            note("admission", name, "burst", cur.burst, rec.burst)
+        labels = sorted(
+            {str(k) for k in self.current.candidates}
+            | {str(k) for k in self.recommended.candidates},
+        )
+        cur_cands = {str(k): list(v) for k, v in self.current.candidates.items()}
+        rec_cands = {
+            str(k): list(v) for k, v in self.recommended.candidates.items()
+        }
+        for label in labels:
+            note(
+                "candidates", label, "backends",
+                cur_cands.get(label, []), rec_cands.get(label, []),
+            )
+        return changes
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.changes
+
+    def to_dict(self) -> dict:
+        return {
+            "generated_at": self.generated_at,
+            "reason": self.reason,
+            "is_noop": self.is_noop,
+            "current": self.current.to_dict(),
+            "recommended": self.recommended.to_dict(),
+            "changes": list(self.changes),
+        }

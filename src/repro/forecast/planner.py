@@ -1,0 +1,225 @@
+"""ProvisioningPlanner: forecasts in, blueprint diff out.
+
+The planner is a pure function of its inputs — predicted arrival
+rate, measured per-query stage costs, the current :class:`Blueprint`,
+and (optionally) a forecast label mix with per-backend traffic
+weights. It never touches an executor or a gate; it only *recommends*,
+as a :class:`BlueprintDiff` an applier can enact or an operator can
+read. That purity is what makes the predictive path testable and the
+benchmark deterministic.
+
+Sizing model (Little's law throughout):
+
+* a stage needs ``rate × cost_per_query`` worker-seconds per second,
+  padded by ``headroom``; the recommended pool is the ceiling of that
+  demand, floored by the occupancy high-water mark the last window
+  actually measured (the reactive backstop under a bad forecast);
+* on a fixed ``thread_budget`` the budget is *split* between the two
+  stages proportionally to their demands — the whole point of
+  predictive provisioning on fixed hardware is moving threads to the
+  stage the next interval will saturate;
+* a backend's admission rate is its weighted share of the predicted
+  arrivals (again padded), its burst keeps the configured
+  burst-to-rate ratio, and its in-flight bound is the concurrency
+  Little's law implies at that rate. Gates never *gain* a limit the
+  operator didn't configure: unlimited knobs stay unlimited.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.errors import ServiceError
+from repro.forecast.blueprint import AdmissionPlan, Blueprint, BlueprintDiff
+
+
+class ProvisioningPlanner:
+    """Convert forecasts + measured costs into a :class:`BlueprintDiff`.
+
+    ``thread_budget`` — when given, recommendations always spend
+    exactly this many pool threads, split by stage demand; when
+    ``None`` the pools size to demand independently. ``headroom`` pads
+    every demand estimate (1.25 → provision 25% above the forecast).
+    ``hot_share`` is the mix share at which a label is considered hot
+    enough to widen its candidate set to every known backend.
+    """
+
+    def __init__(
+        self,
+        thread_budget: int | None = None,
+        headroom: float = 1.25,
+        min_workers: int = 1,
+        hot_share: float = 0.25,
+    ) -> None:
+        if thread_budget is not None and thread_budget < 2:
+            raise ServiceError("thread_budget must be >= 2 (one per stage)")
+        if headroom < 1.0:
+            raise ServiceError("headroom must be >= 1.0")
+        if min_workers < 1:
+            raise ServiceError("min_workers must be >= 1")
+        if not 0.0 < hot_share <= 1.0:
+            raise ServiceError("hot_share must be in (0, 1]")
+        self.thread_budget = thread_budget
+        self.headroom = float(headroom)
+        self.min_workers = int(min_workers)
+        self.hot_share = float(hot_share)
+
+    # -- workers -------------------------------------------------------------------
+
+    def _pool_plan(
+        self,
+        predicted_qps: float,
+        label_cost: float,
+        dispatch_cost: float,
+        window: Mapping | None,
+    ) -> tuple[int, int, float, float]:
+        demand_label = predicted_qps * max(label_cost, 0.0) * self.headroom
+        demand_dispatch = predicted_qps * max(dispatch_cost, 0.0) * self.headroom
+        floor_label = self.min_workers
+        floor_dispatch = self.min_workers
+        if window:
+            # the reactive backstop: the last interval *measured* this
+            # much concurrent occupancy, so never recommend below it
+            floor_label = max(
+                floor_label, int(window.get("window_max_label_active", 0))
+            )
+            floor_dispatch = max(
+                floor_dispatch, int(window.get("window_max_dispatch_active", 0))
+            )
+        rec_label = max(floor_label, math.ceil(demand_label))
+        rec_dispatch = max(floor_dispatch, math.ceil(demand_dispatch))
+        if self.thread_budget is not None:
+            budget = self.thread_budget
+            total_demand = demand_label + demand_dispatch
+            if total_demand > 0:
+                share = demand_label / total_demand
+            else:
+                share = rec_label / max(rec_label + rec_dispatch, 1)
+            rec_label = min(budget - 1, max(1, round(budget * share)))
+            rec_dispatch = budget - rec_label
+        return rec_label, rec_dispatch, demand_label, demand_dispatch
+
+    # -- admission -----------------------------------------------------------------
+
+    def _admission_plan(
+        self,
+        predicted_qps: float,
+        dispatch_cost: float,
+        current: Mapping,
+        backend_weights: Mapping | None,
+    ) -> dict:
+        recommended: dict = {}
+        names = sorted(current)
+        if not names:
+            return recommended
+        weights = dict(backend_weights or {})
+        total = sum(w for w in weights.values() if w > 0)
+        for name in names:
+            plan: AdmissionPlan = current[name]
+            if total > 0:
+                weight = max(weights.get(name, 0.0), 0.0) / total
+            else:
+                weight = 1.0 / len(names)
+            backend_qps = predicted_qps * weight * self.headroom
+            rate = plan.rate
+            burst = plan.burst
+            if plan.rate is not None:
+                # keep the operator's burst-to-rate ratio under the new
+                # rate — a 2s cushion stays a 2s cushion after a resize
+                ratio = (
+                    plan.burst / plan.rate
+                    if plan.burst is not None and plan.rate > 0
+                    else 1.0
+                )
+                rate = max(backend_qps, 1e-6)
+                burst = max(rate * ratio, 1e-6)
+            max_in_flight = plan.max_in_flight
+            if plan.max_in_flight is not None:
+                # Little's law: concurrency = arrival rate x residency
+                max_in_flight = max(
+                    1, math.ceil(backend_qps * max(dispatch_cost, 0.0))
+                )
+            recommended[name] = AdmissionPlan(
+                max_in_flight=max_in_flight, rate=rate, burst=burst
+            )
+        return recommended
+
+    # -- candidates ----------------------------------------------------------------
+
+    def _candidate_plan(
+        self,
+        mix: Mapping | None,
+        current: Mapping,
+        all_backends: list | None,
+    ) -> dict:
+        recommended = {
+            str(label): tuple(names) for label, names in current.items()
+        }
+        if not mix or not all_backends:
+            return recommended
+        widened = tuple(sorted(all_backends))
+        for label, share in mix.items():
+            if share >= self.hot_share:
+                # a hot label gets the whole fleet to spread over; the
+                # load-aware policy still picks per batch — this only
+                # widens what it may choose between
+                recommended[str(label)] = widened
+        return recommended
+
+    # -- the plan ------------------------------------------------------------------
+
+    def plan(
+        self,
+        predicted_qps: float,
+        label_cost: float,
+        dispatch_cost: float,
+        current: Blueprint,
+        mix: Mapping | None = None,
+        backend_weights: Mapping | None = None,
+        window: Mapping | None = None,
+        all_backends: list | None = None,
+        now: float = 0.0,
+    ) -> BlueprintDiff:
+        """Recommend a blueprint for the predicted load.
+
+        ``predicted_qps`` — total forecast arrivals/sec across tenants;
+        ``label_cost`` / ``dispatch_cost`` — measured seconds/query in
+        each stage; ``mix`` — forecast label shares; ``backend_weights``
+        — each backend's share of the predicted traffic (any positive
+        scale); ``window`` — the executor's interval-windowed occupancy
+        marks; ``all_backends`` — every registered backend name, for
+        hot-label candidate widening.
+        """
+        if predicted_qps < 0:
+            raise ServiceError("predicted_qps must be >= 0")
+        rec_label, rec_dispatch, demand_label, demand_dispatch = self._pool_plan(
+            predicted_qps, label_cost, dispatch_cost, window
+        )
+        recommended = Blueprint(
+            label_workers=rec_label,
+            dispatch_workers=rec_dispatch,
+            admission=self._admission_plan(
+                predicted_qps, dispatch_cost, current.admission, backend_weights
+            ),
+            candidates=self._candidate_plan(
+                mix, current.candidates, all_backends
+            ),
+        )
+        reason = (
+            f"predicted {predicted_qps:.1f} q/s; stage demand "
+            f"label={demand_label:.2f} dispatch={demand_dispatch:.2f} "
+            f"worker-seconds/s (headroom {self.headroom:g})"
+        )
+        return BlueprintDiff(
+            current=current, recommended=recommended, generated_at=now,
+            reason=reason,
+        )
+
+    def snapshot(self) -> dict:
+        return {
+            "thread_budget": self.thread_budget,
+            "headroom": self.headroom,
+            "min_workers": self.min_workers,
+            "hot_share": self.hot_share,
+        }

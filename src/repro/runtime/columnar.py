@@ -172,6 +172,22 @@ class ColumnarSlice:
         texts = self.batch.queries
         return [texts[i] for i in self.indices]
 
+    def label_at(self, i: int, name: str, default=None):
+        """Row ``i``'s value for one label — columnarly, no message built.
+
+        Reads the predicted value straight from the batch's label
+        column (template array + inverse), falling back to the
+        original message's pre-labeling labels; unlike indexing the
+        slice, no ``with_labels`` copy is materialized. The router's
+        failover/breaker paths use this to learn a doomed group's
+        route label without breaching the ``to_messages()`` boundary.
+        """
+        row = int(self.indices[i])
+        col = self.batch.column(name)
+        if col is not None:
+            return col.value_at(row)
+        return self.batch.messages[row].label(name, default)
+
     def fingerprint_ids(self) -> np.ndarray | None:
         """This slice's interned template ids (None when the batch has
         none, e.g. batches built outside the pipeline)."""

@@ -81,6 +81,9 @@ from repro.errors import ServiceError
 from repro.runtime.tuner import BatchSizeTuner
 
 _SENTINEL = object()
+# retire token for live shrink: exactly one worker consumes it between
+# batches (a stage boundary) and exits; in-flight batches are untouched
+_RETIRE = object()
 
 
 class StagedFuture:
@@ -285,27 +288,56 @@ class StagedExecutor:
         # the drain wait needs no poll timeout
         self._drain = threading.Condition()
         self._outstanding = 0
-        self._workers_alive = self.label_workers + self.dispatch_workers
+        self._workers_alive = 0  # incremented by _spawn_worker
         # pool occupancy (workers currently inside a stage fn)
         self._pool_lock = threading.Lock()
         self._label_active = 0
         self._dispatch_active = 0
         self._max_label_active = 0
         self._max_dispatch_active = 0
-        self._label_threads = [
-            threading.Thread(
-                target=self._label_loop, name=f"querc-label-{i}", daemon=True
+        # interval-windowed high-water marks: same signal as the
+        # lifetime peaks, but resettable (pool_window) so a periodic
+        # planner sees each interval's saturation, not history's
+        self._window_max_label_active = 0
+        self._window_max_dispatch_active = 0
+        self._window_started_at = clock()
+        # live resize bookkeeping: spawn indices keep thread names
+        # unique across generations, the ledger counts resizes
+        self._resize_lock = threading.Lock()
+        self._label_spawned = 0
+        self._dispatch_spawned = 0
+        self._resizes = 0
+        self._workers_retired = 0
+        self._label_threads: list[threading.Thread] = []
+        self._dispatch_threads: list[threading.Thread] = []
+        for _ in range(self.label_workers):
+            self._spawn_worker("label")
+        for _ in range(self.dispatch_workers):
+            self._spawn_worker("dispatch")
+
+    def _spawn_worker(self, stage: str) -> None:
+        """Start one stage worker and record it (caller must hold
+        ``_resize_lock`` when resizing; construction is single-threaded)."""
+        if stage == "label":
+            index, self._label_spawned = self._label_spawned, self._label_spawned + 1
+            thread = threading.Thread(
+                target=self._label_loop, name=f"querc-label-{index}", daemon=True
             )
-            for i in range(self.label_workers)
-        ]
-        self._dispatch_threads = [
-            threading.Thread(
-                target=self._dispatch_loop, name=f"querc-dispatch-{i}", daemon=True
+            self._label_threads.append(thread)
+        else:
+            index, self._dispatch_spawned = (
+                self._dispatch_spawned,
+                self._dispatch_spawned + 1,
             )
-            for i in range(self.dispatch_workers)
-        ]
-        for thread in self._label_threads + self._dispatch_threads:
-            thread.start()
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"querc-dispatch-{index}",
+                daemon=True,
+            )
+            self._dispatch_threads.append(thread)
+        with self._drain:
+            self._workers_alive += 1
+        thread.start()
 
     # -- submission ----------------------------------------------------------------
 
@@ -429,10 +461,16 @@ class StagedExecutor:
                 self._max_label_active = max(
                     self._max_label_active, self._label_active
                 )
+                self._window_max_label_active = max(
+                    self._window_max_label_active, self._label_active
+                )
             else:
                 self._dispatch_active += 1
                 self._max_dispatch_active = max(
                     self._max_dispatch_active, self._dispatch_active
+                )
+                self._window_max_dispatch_active = max(
+                    self._window_max_dispatch_active, self._dispatch_active
                 )
 
     def _pool_exit(self, stage: str) -> None:
@@ -462,6 +500,10 @@ class StagedExecutor:
             while True:
                 lane = self._label_ready.get()
                 if lane is _SENTINEL:
+                    return
+                if lane is _RETIRE:
+                    with self._drain:
+                        self._workers_retired += 1
                     return
                 with lane.cond:
                     item, future = lane.ingress.popleft()
@@ -527,6 +569,10 @@ class StagedExecutor:
                 lane = self._dispatch_ready.get()
                 if lane is _SENTINEL:
                     return
+                if lane is _RETIRE:
+                    with self._drain:
+                        self._workers_retired += 1
+                    return
                 with lane.cond:
                     staged, future = lane.handoff.popleft()
                     # a hand-off slot freed: stage A may resume this lane
@@ -577,6 +623,82 @@ class StagedExecutor:
         self._resolve_future(future, value=result, error=error)
 
     # -- lifecycle -----------------------------------------------------------------
+
+    def resize(
+        self,
+        label_workers: int | None = None,
+        dispatch_workers: int | None = None,
+    ) -> dict:
+        """Re-provision the stage pools live; returns the pool snapshot.
+
+        Growing a stage spawns fresh workers that start pulling ready
+        lanes immediately. Shrinking posts retire tokens on the stage's
+        ready-queue: each token is consumed by exactly one worker *at a
+        stage boundary* — between batches, never inside one — so lanes,
+        per-application FIFO order, and byte-identical outcomes are all
+        preserved; the thread count converges to the new target as the
+        tokens are drained. Both targets must stay >= 1. Safe to call
+        from any thread, including a dispatch-feedback hook running on
+        a pool worker (the worker that applies a shrink can be the one
+        that later retires). Raises once the executor is closed.
+        """
+        with self._resize_lock:
+            with self._lanes_lock:
+                if self._closed:
+                    raise ServiceError("executor is closed")
+            changed = False
+            if label_workers is not None and label_workers != self.label_workers:
+                if label_workers < 1:
+                    raise ServiceError("label_workers must be >= 1")
+                delta = label_workers - self.label_workers
+                self.label_workers = int(label_workers)
+                for _ in range(delta):
+                    self._spawn_worker("label")
+                for _ in range(-delta):
+                    self._label_ready.put(_RETIRE)
+                changed = True
+            if (
+                dispatch_workers is not None
+                and dispatch_workers != self.dispatch_workers
+            ):
+                if dispatch_workers < 1:
+                    raise ServiceError("dispatch_workers must be >= 1")
+                delta = dispatch_workers - self.dispatch_workers
+                self.dispatch_workers = int(dispatch_workers)
+                for _ in range(delta):
+                    self._spawn_worker("dispatch")
+                for _ in range(-delta):
+                    self._dispatch_ready.put(_RETIRE)
+                changed = True
+            if changed:
+                with self._drain:
+                    self._resizes += 1
+        return self.stats()["pool"]
+
+    def pool_window(self, reset: bool = False) -> dict:
+        """Occupancy high-water marks since the last window reset.
+
+        The resettable flavor of the lifetime ``max_*_active`` peaks:
+        a periodic planner reads (and resets) the window each interval,
+        so the marks answer "how many workers did this interval
+        actually need" instead of "how many did history ever need".
+        Resetting re-seeds each mark with the stage's *current*
+        occupancy — a worker mid-batch at the reset instant still
+        counts against the new window.
+        """
+        with self._pool_lock:
+            window = {
+                "window_max_label_active": self._window_max_label_active,
+                "window_max_dispatch_active": self._window_max_dispatch_active,
+                "window_seconds": max(
+                    self._clock() - self._window_started_at, 0.0
+                ),
+            }
+            if reset:
+                self._window_max_label_active = self._label_active
+                self._window_max_dispatch_active = self._dispatch_active
+                self._window_started_at = self._clock()
+        return window
 
     def close(self) -> None:
         """Drain every lane, then stop the pool (idempotent).
@@ -670,15 +792,27 @@ class StagedExecutor:
             s["label_seconds"] + s["dispatch_seconds"] for s in lanes.values()
         )
         wall = max(self._clock() - self._started_at, 1e-12)
+        with self._drain:
+            workers_alive = self._workers_alive
+            resizes = self._resizes
+            retired = self._workers_retired
         with self._pool_lock:
             pool = {
                 "label_workers": self.label_workers,
                 "dispatch_workers": self.dispatch_workers,
                 "threads": self.label_workers + self.dispatch_workers,
+                "workers_alive": workers_alive,
+                "resizes": resizes,
+                "workers_retired": retired,
                 "label_active": self._label_active,
                 "dispatch_active": self._dispatch_active,
                 "max_label_active": self._max_label_active,
                 "max_dispatch_active": self._max_dispatch_active,
+                "window_max_label_active": self._window_max_label_active,
+                "window_max_dispatch_active": self._window_max_dispatch_active,
+                "window_seconds": max(
+                    self._clock() - self._window_started_at, 0.0
+                ),
             }
         return {
             "queue_depth": self.queue_depth,

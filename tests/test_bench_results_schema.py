@@ -33,7 +33,14 @@ def test_every_known_benchmark_has_a_record():
     # its JSON (or renames it) should be a visible change, not a silent
     # hole in the perf trajectory
     results = REPO_ROOT / "benchmarks" / "results"
-    for name in ("concurrent", "dispatch", "load_aware", "many_tenant", "server"):
+    for name in (
+        "concurrent",
+        "dispatch",
+        "forecast",
+        "load_aware",
+        "many_tenant",
+        "server",
+    ):
         assert (results / f"BENCH_{name}.json").is_file(), (
             f"BENCH_{name}.json missing from benchmarks/results"
         )

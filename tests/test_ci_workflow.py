@@ -57,6 +57,7 @@ def test_ci_workflow_exists_and_carries_the_perf_gates():
         "REPRO_BENCH_MIN_DISPATCH_SPEEDUP",
         "REPRO_BENCH_MIN_RESILIENCE_GOODPUT",
         "REPRO_BENCH_MIN_SERVER_QPS",
+        "REPRO_BENCH_MIN_FORECAST_P95_GAIN",
     ):
         assert gate in text, f"ci.yml lost the {gate} gate"
 

@@ -19,11 +19,23 @@ import pytest
 from repro.backends import (
     BackendRegistry,
     BatchRouter,
+    Blackout,
+    CircuitBreaker,
+    FaultInjectingBackend,
     NullBackend,
+    RetryPolicy,
     SpillPolicy,
 )
 from repro.core.labeled_query import LabeledQuery
 from repro.runtime.columnar import ColumnarBatch
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
 
 
 def columnar_batch(n: int, cluster: str = "east") -> ColumnarBatch:
@@ -126,6 +138,70 @@ class TestSpillMaterialization:
         assert by_backend["DB(B)"].admitted == 5
         # the sibling executes the overflow via the batch's text
         # array (ColumnarSlice.queries) — still zero row objects
+        assert materialized_rows == []
+        assert batch._materialized is None
+
+    def test_post_execution_failover_materializes_nothing(
+        self, materialized_rows
+    ):
+        """A terminal execute failure fails the group over to a healthy
+        sibling; learning the group's route label for candidate lookup
+        must read the label column, not build row objects."""
+        clock = FakeClock()
+        registry = BackendRegistry()
+        registry.register(
+            FaultInjectingBackend(
+                NullBackend("DB(A)"), [Blackout(0.0, 100.0)], clock=clock
+            ),
+            retry=RetryPolicy(
+                max_attempts=1, clock=clock, sleep=lambda _s: None
+            ),
+        )
+        sibling = NullBackend("DB(B)")
+        registry.register(sibling)
+        router = BatchRouter(registry, default_backend="DB(A)")
+        router.set_candidates("east", ["DB(A)", "DB(B)"])
+        batch = columnar_batch(6)
+        report = router.dispatch("app", batch)
+        assert report.failovers == 1
+        assert report.executed_ok == 6
+        assert sibling.accepted == 6
+        # candidate constraints were honored via the columnar label
+        assert {d.backend for d in report.decisions} == {"DB(A)", "DB(B)"}
+        assert materialized_rows == []
+        assert batch._materialized is None
+
+    def test_breaker_short_circuit_failover_materializes_nothing(
+        self, materialized_rows
+    ):
+        """An open circuit hands the whole group to a sibling before
+        admission — the label lookup for that hand-off is columnar."""
+        clock = FakeClock()
+        registry = BackendRegistry()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_seconds=1000.0, clock=clock
+        )
+        breaker.record_failure()  # DB(A) is already tripped
+        registry.register(NullBackend("DB(A)"), breaker=breaker)
+        sibling = NullBackend("DB(B)")
+        registry.register(sibling)
+        router = BatchRouter(registry, default_backend="DB(A)")
+        batch = columnar_batch(5)
+        report = router.dispatch("app", batch)
+        origin = report.decisions[0]
+        assert origin.breaker_open and origin.spilled_to == "DB(B)"
+        assert report.executed_ok == 5
+        assert sibling.accepted == 5
+        assert materialized_rows == []
+        assert batch._materialized is None
+
+    def test_slice_label_at_reads_columns_without_building_rows(
+        self, materialized_rows
+    ):
+        batch = columnar_batch(4)
+        head = batch.select(np.array([2, 3], dtype=np.intp))
+        assert head.label_at(0, "cluster") == "east"
+        assert head.label_at(1, "missing", default="d") == "d"
         assert materialized_rows == []
         assert batch._materialized is None
 

@@ -33,7 +33,8 @@ a warning but never fails the run (the benchmark itself enforces the
 gate when it executes — this is the post-hoc reminder for runs that
 only validated committed records). ``REPRO_BENCH_MIN_SERVER_QPS``
 works the same way against ``BENCH_server.json``'s concurrent-fleet
-throughput.
+throughput, and ``REPRO_BENCH_MIN_FORECAST_P95_GAIN`` against
+``BENCH_forecast.json``'s predictive-vs-static p95 ratio.
 """
 
 from __future__ import annotations
@@ -165,6 +166,39 @@ def advisory_server_qps(results_dir: Path = RESULTS_DIR) -> list[str]:
     return []
 
 
+def advisory_forecast_p95_gain(results_dir: Path = RESULTS_DIR) -> list[str]:
+    """Advisory warnings (never failures) for the forecast record.
+
+    Compares ``BENCH_forecast.json``'s ``speedup`` (the static /
+    predictive p95 latency ratio under the ramp+spike schedule)
+    against ``REPRO_BENCH_MIN_FORECAST_P95_GAIN`` when both exist.
+    """
+    floor_text = os.environ.get("REPRO_BENCH_MIN_FORECAST_P95_GAIN", "")
+    if not floor_text:
+        return []
+    try:
+        floor = float(floor_text)
+    except ValueError:
+        return [
+            "advisory: REPRO_BENCH_MIN_FORECAST_P95_GAIN="
+            f"{floor_text!r} is not a number; skipping the p95-gain check"
+        ]
+    path = results_dir / "BENCH_forecast.json"
+    if not path.is_file():
+        return []
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []  # the schema check already reports unreadable records
+    ratio = record.get("speedup")
+    if _is_positive_number(ratio) and ratio < floor:
+        return [
+            f"advisory: forecast p95 gain {ratio:.2f}x is below the "
+            f"REPRO_BENCH_MIN_FORECAST_P95_GAIN floor of {floor:.2f}x"
+        ]
+    return []
+
+
 def main() -> int:
     problems = check_results()
     if problems:
@@ -174,6 +208,8 @@ def main() -> int:
     for warning in advisory_resilience_goodput():
         print(warning, file=sys.stderr)
     for warning in advisory_server_qps():
+        print(warning, file=sys.stderr)
+    for warning in advisory_forecast_p95_gain():
         print(warning, file=sys.stderr)
     n = len(list(RESULTS_DIR.glob("BENCH_*.json"))) if RESULTS_DIR.is_dir() else 0
     print(f"bench results ok ({n} BENCH_*.json record(s) validated)")
